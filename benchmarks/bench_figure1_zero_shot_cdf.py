@@ -1,0 +1,17 @@
+"""Figure 1: CDF of zero-shot CLIP AP per dataset, with the AP < .5 fraction."""
+
+from repro.bench.experiments import figure1_zero_shot_cdf
+
+
+def test_figure1_zero_shot_cdf(benchmark, bundles, scale, settings, save_report):
+    result = benchmark.pedantic(
+        lambda: figure1_zero_shot_cdf(bundles, scale, settings), rounds=1, iterations=1
+    )
+    save_report("figure1_zero_shot_cdf", result.format_text())
+    # Reproduction target: a long left tail — some datasets have a sizeable
+    # fraction of queries below AP .5 while COCO-like stays close to zero.
+    fractions = {
+        name: dist.fraction_below(0.5) for name, dist in result.distributions.items()
+    }
+    assert fractions["coco"] <= 0.25
+    assert max(fractions.values()) >= 0.15

@@ -1,0 +1,14 @@
+"""Figure 4: ideal (best-fit) query vector AP vs the initial text query AP."""
+
+from repro.bench.experiments import figure4_ideal_vs_initial
+
+
+def test_figure4_ideal_vs_initial(benchmark, bundles, scale, save_report):
+    result = benchmark.pedantic(
+        lambda: figure4_ideal_vs_initial(bundles["objectnet"], scale), rounds=1, iterations=1
+    )
+    save_report("figure4_ideal_vs_initial", result.format_text())
+    # Reproduction target: concept locality is high (ideal vectors are nearly
+    # perfect) while the initial text queries lag far behind.
+    assert result.median_ideal > 0.85
+    assert result.median_ideal > result.median_initial + 0.1

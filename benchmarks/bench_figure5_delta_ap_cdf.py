@@ -1,0 +1,22 @@
+"""Figure 5: CDF of the change in AP of SeeSaw over zero-shot CLIP."""
+
+import numpy as np
+
+from repro.bench.experiments import figure5_delta_ap
+from repro.metrics import mean_average_precision
+
+
+def test_figure5_delta_ap_cdf(benchmark, bundles, scale, settings, save_report):
+    result = benchmark.pedantic(
+        lambda: figure5_delta_ap(bundles, scale, settings), rounds=1, iterations=1
+    )
+    save_report("figure5_delta_ap_cdf", result.format_text())
+    # Reproduction targets: most queries improve or stay the same, and the
+    # average improvement on the hard subset is clearly positive.
+    improvement_fractions = [result.improvement_fraction(name) for name in result.delta_all]
+    assert float(np.mean(improvement_fractions)) >= 0.7
+    hard_deltas = [
+        delta for per_dataset in result.delta_hard.values() for delta in per_dataset.values()
+    ]
+    if hard_deltas:
+        assert mean_average_precision(hard_deltas) > 0.0

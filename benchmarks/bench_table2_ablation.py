@@ -1,0 +1,25 @@
+"""Table 2: ablation of SeeSaw's components (multiscale, few-shot, alignments)."""
+
+import numpy as np
+
+from repro.bench.experiments import table2_ablation
+
+
+def _row_average(row: dict) -> float:
+    return float(np.nanmean(list(row.values())))
+
+
+def test_table2_ablation(benchmark, bundles, scale, settings, save_report):
+    result = benchmark.pedantic(
+        lambda: table2_ablation(bundles, scale, settings), rounds=1, iterations=1
+    )
+    save_report("table2_ablation", result.format_text())
+    all_rows = result.all_queries
+    hard_rows = result.hard_queries
+    # Reproduction targets (shape, not absolute numbers):
+    # the full system beats plain zero-shot CLIP on all queries and by a
+    # larger margin on the hard subset.
+    assert _row_average(all_rows["+DB align"]) > _row_average(all_rows["zero-shot CLIP"])
+    assert _row_average(hard_rows["+DB align"]) > _row_average(hard_rows["zero-shot CLIP"]) + 0.05
+    # Query alignment is the biggest single contributor over few-shot.
+    assert _row_average(hard_rows["+Query align"]) >= _row_average(hard_rows["+few-shot CLIP"]) - 0.02

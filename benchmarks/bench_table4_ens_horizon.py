@@ -1,0 +1,18 @@
+"""Table 4: ENS sensitivity to the reward horizon and to score calibration."""
+
+from repro.bench.experiments import table4_ens_horizon
+
+
+def test_table4_ens_horizon(benchmark, bundles, scale, settings, save_report):
+    horizons = (1, 2, 10, 60)
+    result = benchmark.pedantic(
+        lambda: table4_ens_horizon(bundles, scale, horizons=horizons, settings=settings),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("table4_ens_horizon", result.format_text())
+    # Reproduction targets: calibrated priors never hurt, and long horizons
+    # with raw (uncalibrated) priors are the weakest configuration.
+    for horizon in horizons:
+        assert result.calibrated[horizon] >= result.raw[horizon] - 0.05
+    assert result.raw[60] <= result.raw[1] + 0.02

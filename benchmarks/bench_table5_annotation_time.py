@@ -1,0 +1,15 @@
+"""Table 5: per-image annotation time of the simulated users."""
+
+from repro.bench.experiments import table5_annotation_time
+
+
+def test_table5_annotation_time(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: table5_annotation_time(samples=2000, seed=0), rounds=1, iterations=1
+    )
+    save_report("table5_annotation_time", result.format_text())
+    # Reproduction targets: marking takes longer than skipping, and SeeSaw's
+    # box feedback adds roughly 1-2 extra seconds to marked images.
+    assert result.baseline_mark[0] > result.baseline_skip[0]
+    assert result.seesaw_mark[0] > result.baseline_mark[0] + 0.5
+    assert result.seesaw_skip[0] > result.baseline_skip[0] - 0.5

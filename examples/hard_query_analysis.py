@@ -1,0 +1,67 @@
+"""Analyse where zero-shot CLIP struggles and how much feedback methods help.
+
+The script reproduces, on a small scale, the analysis behind Figures 1 and 5
+and Table 3: it measures zero-shot AP for every category of a dataset,
+identifies the hard subset (AP < .5), and compares Rocchio and SeeSaw on it.
+
+Run with:  python examples/hard_query_analysis.py [dataset]
+where dataset is one of coco, lvis, objectnet, bdd (default: objectnet).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines import RocchioMethod, ZeroShotClipMethod
+from repro.bench import BenchmarkSettings, build_bundle
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_query_set
+from repro.bench.suite import ExperimentScale
+from repro.core.seesaw_method import SeeSawSearchMethod
+from repro.metrics import hard_subset, mean_average_precision
+
+
+def main() -> None:
+    dataset_name = sys.argv[1] if len(sys.argv) > 1 else "objectnet"
+    scale = ExperimentScale(size_scale=0.25, max_queries_per_dataset=15)
+    bundle = build_bundle(dataset_name, scale)
+    queries = bundle.queries(scale)
+    settings = BenchmarkSettings()
+    print(f"dataset: {dataset_name}  queries: {len(queries)}")
+
+    index = bundle.multiscale_index
+    zero = run_query_set(bundle.coarse_index, ZeroShotClipMethod, queries, settings)
+    rocchio = run_query_set(index, RocchioMethod, queries, settings)
+    seesaw = run_query_set(
+        index, lambda: SeeSawSearchMethod(bundle.config), queries, settings
+    )
+
+    zero_ap = {key: outcome.average_precision for key, outcome in zero.items()}
+    hard = hard_subset(zero_ap)
+    print(f"hard queries (zero-shot AP < .5): {len(hard)} of {len(queries)}\n")
+
+    rows = []
+    for key in sorted(zero_ap, key=zero_ap.get):
+        rows.append(
+            [
+                key.split("/", 1)[1],
+                "hard" if key in hard else "easy",
+                zero[key].average_precision,
+                rocchio[key].average_precision,
+                seesaw[key].average_precision,
+            ]
+        )
+    print(format_table(["query", "subset", "zero-shot", "rocchio", "seesaw"], rows))
+
+    for name, outcomes in [("zero-shot", zero), ("rocchio", rocchio), ("seesaw", seesaw)]:
+        hard_map = mean_average_precision(
+            [outcomes[key].average_precision for key in hard]
+        )
+        all_map = mean_average_precision(
+            [outcome.average_precision for outcome in outcomes.values()]
+        )
+        print(f"{name:>10s}:  mAP all = {all_map:.2f}   mAP hard = {hard_map:.2f}")
+
+
+if __name__ == "__main__":
+    main()

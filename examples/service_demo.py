@@ -1,0 +1,61 @@
+"""Drive the SeeSaw service layer the way the browser UI would.
+
+The paper's deployment puts a server (the "query aligner") between the UI and
+the index (Figure 3).  This example exercises that layer: register datasets,
+start a session, page through result batches, and send box feedback, all
+through the request/response API.
+
+Run with:  python examples/service_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.config import SeeSawConfig
+from repro.data import load_dataset
+from repro.embedding import SyntheticClip
+from repro.server import BoxPayload, FeedbackRequest, SeeSawService, StartSessionRequest
+
+
+def main() -> None:
+    service = SeeSawService(SeeSawConfig())
+    for name in ("objectnet", "bdd"):
+        dataset = load_dataset(name, seed=1, size_scale=0.12)
+        embedding = SyntheticClip.for_dataset(dataset, dim=128, seed=1)
+        service.register_dataset(dataset, embedding, preprocess=False)
+    print(f"registered datasets: {', '.join(service.dataset_names)}")
+
+    info = service.start_session(
+        StartSessionRequest(dataset="objectnet", text_query="a dustpan", batch_size=4)
+    )
+    print(f"started {info.session_id} for query '{info.text_query}'")
+
+    dataset = load_dataset("objectnet", seed=1, size_scale=0.12)
+    for round_number in range(1, 4):
+        response = service.next_results(info.session_id)
+        print(f"\nround {round_number}: {len(response.items)} results")
+        for item in response.items:
+            boxes = dataset.image(item.image_id).ground_truth_boxes("dustpan")
+            relevant = bool(boxes)
+            print(
+                f"  image {item.image_id:4d} score={item.score:.3f} "
+                f"-> {'relevant, sending box' if relevant else 'not relevant'}"
+            )
+            service.give_feedback(
+                FeedbackRequest(
+                    session_id=info.session_id,
+                    image_id=item.image_id,
+                    relevant=relevant,
+                    boxes=[
+                        BoxPayload(box.x, box.y, box.width, box.height) for box in boxes
+                    ],
+                )
+            )
+    summary = service.session_info(info.session_id)
+    print(
+        f"\nsession summary: {summary.positives_found} relevant images found "
+        f"in {summary.total_shown} shown over {summary.rounds} feedback rounds"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Reproduction of "SeeSaw: Interactive Ad-hoc Search Over Image Databases".
+
+The public API is re-exported here.  The most common entry points are:
+
+* :func:`repro.data.load_dataset` — generate one of the four synthetic
+  evaluation datasets (COCO / LVIS / ObjectNet / BDD profiles).
+* :class:`repro.embedding.SyntheticClip` — the CLIP stand-in embedding.
+* :class:`repro.core.SeeSawIndex` — preprocessing: multiscale embedding,
+  vector store, kNN graph, and the DB-alignment matrix for a dataset.
+* :class:`repro.core.SeeSawQueryAligner` — the query-alignment algorithm
+  (CLIP alignment + DB alignment, Equation 5).
+* :class:`repro.core.SearchSession` — the interactive loop of Listing 1.
+* :mod:`repro.bench` — the benchmark harness regenerating every table and
+  figure of the paper's evaluation.
+"""
+
+from repro.config import (
+    PAPER_DEFAULT_CONFIG,
+    BenchmarkTaskConfig,
+    KnnGraphConfig,
+    LossWeights,
+    MultiscaleConfig,
+    OptimizerConfig,
+    SeeSawConfig,
+)
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "SeeSawConfig",
+    "LossWeights",
+    "KnnGraphConfig",
+    "MultiscaleConfig",
+    "OptimizerConfig",
+    "BenchmarkTaskConfig",
+    "PAPER_DEFAULT_CONFIG",
+]

@@ -1,0 +1,26 @@
+"""Baseline search methods the paper compares SeeSaw against (§5.4).
+
+* :class:`ZeroShotClipMethod` — CLIP text vector, feedback ignored.
+* :class:`FewShotClipMethod` — logistic regression on feedback (Equation 1).
+* :class:`RocchioMethod` — Rocchio's relevance-feedback formula (Equation 6).
+* :class:`EnsMethod` — Efficient Non-myopic Search over the kNN graph.
+* :class:`PropagationMethod` — full label propagation each round ("SeeSaw
+  prop." in the latency comparison, Table 6).
+* :func:`fit_ideal_vector` — the best-fit linear query vector of Figure 4.
+"""
+
+from repro.baselines.ens import EnsMethod
+from repro.baselines.few_shot import FewShotClipMethod
+from repro.baselines.ideal import fit_ideal_vector
+from repro.baselines.propagation_search import PropagationMethod
+from repro.baselines.rocchio import RocchioMethod
+from repro.baselines.zero_shot import ZeroShotClipMethod
+
+__all__ = [
+    "ZeroShotClipMethod",
+    "FewShotClipMethod",
+    "RocchioMethod",
+    "EnsMethod",
+    "PropagationMethod",
+    "fit_ideal_vector",
+]

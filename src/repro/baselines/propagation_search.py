@@ -1,0 +1,92 @@
+"""Full label-propagation search ("SeeSaw prop." in Table 6).
+
+This variant realises the conceptual starting point of DB alignment directly:
+after every feedback round it runs label propagation over the whole kNN graph
+and ranks images by the propagated score.  It is accurate but its per-round
+cost grows linearly with the database, which is exactly the scaling problem
+the collapsed ``M_D`` term avoids (§4.2, Table 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.ens import raw_gamma_from_scores
+from repro.core.feedback import FeedbackMap
+from repro.core.interfaces import ImageResult, SearchContext, SearchMethod
+from repro.core.propagation import propagate_labels
+from repro.exceptions import SessionError
+
+
+class PropagationMethod(SearchMethod):
+    """Rank by label propagation over the database kNN graph every round."""
+
+    name = "propagation"
+
+    def __init__(self, iterations: int = 20) -> None:
+        self.iterations = int(iterations)
+        self._context: "SearchContext | None" = None
+        self._query: "np.ndarray | None" = None
+        self._prior: "np.ndarray | None" = None
+        self._scores: "np.ndarray | None" = None
+
+    def begin(self, context: SearchContext, text_query: str) -> None:
+        if context.index.knn_graph is None:
+            raise SessionError("PropagationMethod requires an index with a kNN graph")
+        self._context = context
+        self._query = context.embed_text(text_query)
+        raw_scores = context.store.vectors @ self._query
+        self._prior = raw_gamma_from_scores(raw_scores)
+        self._scores = self._prior.copy()
+
+    def next_images(
+        self, count: int, excluded_image_ids: "frozenset[int] | set[int]"
+    ) -> "list[ImageResult]":
+        context = self._require_started()
+        excluded_vectors = context.index.vector_ids_for_images(excluded_image_ids)
+        scores = self._scores.copy()
+        if excluded_vectors:
+            scores[list(excluded_vectors)] = -np.inf
+        order = np.argsort(-scores)
+        results: list[ImageResult] = []
+        seen: set[int] = set(excluded_image_ids)
+        for vector_id in order:
+            if not np.isfinite(scores[vector_id]):
+                break
+            record = context.store.record(int(vector_id))
+            if record.image_id in seen:
+                continue
+            seen.add(record.image_id)
+            results.append(
+                ImageResult(
+                    image_id=record.image_id,
+                    score=float(scores[vector_id]),
+                    vector_id=int(vector_id),
+                    box=record.box,
+                )
+            )
+            if len(results) >= count:
+                break
+        return results
+
+    def observe(self, feedback: FeedbackMap) -> None:
+        context = self._require_started()
+        _, labels, vector_ids = feedback.to_patch_labels(context.index)
+        if labels.size == 0:
+            return
+        labeled = {int(vid): float(label) for vid, label in zip(vector_ids, labels)}
+        self._scores = propagate_labels(
+            context.index.knn_graph,
+            labeled,
+            iterations=self.iterations,
+            prior=self._prior,
+        )
+
+    @property
+    def query_vector(self) -> "np.ndarray | None":
+        return None if self._query is None else self._query.copy()
+
+    def _require_started(self) -> SearchContext:
+        if self._context is None or self._scores is None:
+            raise SessionError("begin must be called before using PropagationMethod")
+        return self._context

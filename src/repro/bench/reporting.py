@@ -1,0 +1,71 @@
+"""Plain-text rendering of benchmark results (paper-style tables and CDFs)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: "str | None" = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a simple aligned text table."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            if np.isnan(cell):
+                return "NA"
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in rendered)) if rendered else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_cdf(
+    values: Mapping[str, Sequence[float]],
+    thresholds: Sequence[float] = (-0.25, 0.0, 0.25, 0.5, 0.75, 1.0),
+    title: "str | None" = None,
+) -> str:
+    """Summarise one or more empirical CDFs at fixed thresholds."""
+    headers = ["series"] + [f"P(x<={t:g})" for t in thresholds]
+    rows = []
+    for name, series in values.items():
+        array = np.asarray(list(series), dtype=np.float64)
+        array = array[np.isfinite(array)]
+        if array.size == 0:
+            rows.append([name] + [float("nan")] * len(thresholds))
+            continue
+        rows.append([name] + [float(np.mean(array <= t)) for t in thresholds])
+    return format_table(headers, rows, title=title)
+
+
+def format_mean_ap_matrix(
+    results: Mapping[str, Mapping[str, float]],
+    datasets: Sequence[str],
+    title: "str | None" = None,
+) -> str:
+    """Render a rows-by-datasets mAP matrix with a trailing average column."""
+    headers = ["method"] + list(datasets) + ["avg."]
+    rows = []
+    for row_name, per_dataset in results.items():
+        values = [per_dataset.get(dataset, float("nan")) for dataset in datasets]
+        finite = [v for v in values if not np.isnan(v)]
+        average = float(np.mean(finite)) if finite else float("nan")
+        rows.append([row_name] + values + [average])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,129 @@
+"""Run one search method through one benchmark task and score it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.bench.simulate import OracleUser
+from repro.bench.tasks import BenchmarkQuery
+from repro.config import BenchmarkTaskConfig
+from repro.core.indexing import SeeSawIndex
+from repro.core.interfaces import SearchMethod
+from repro.core.session import SearchSession
+from repro.exceptions import BenchmarkError
+from repro.metrics.average_precision import average_precision_at_cutoff
+
+MethodFactory = Callable[[], SearchMethod]
+
+
+@dataclass(frozen=True)
+class BenchmarkSettings:
+    """How benchmark sessions are run (cutoffs and batch size, §5.1)."""
+
+    task: BenchmarkTaskConfig = field(default_factory=BenchmarkTaskConfig)
+
+    @property
+    def target_results(self) -> int:
+        """Relevant results to find before stopping (10 in the paper)."""
+        return self.task.target_results
+
+    @property
+    def max_images(self) -> int:
+        """Maximum images to inspect before giving up (60 in the paper)."""
+        return self.task.max_images
+
+    @property
+    def batch_size(self) -> int:
+        """Images shown per feedback round."""
+        return self.task.batch_size
+
+
+@dataclass
+class SessionOutcome:
+    """The scored result of one (method, query) benchmark session."""
+
+    query: BenchmarkQuery
+    method_name: str
+    average_precision: float
+    found: int
+    shown: int
+    seconds_per_round: float
+    lookup_seconds: float
+    update_seconds: float
+    relevance: tuple[bool, ...]
+
+    @property
+    def completed(self) -> bool:
+        """Whether the task target was reached within the budget."""
+        return self.found >= min(self.query.positives, 10)
+
+
+def run_search_task(
+    index: SeeSawIndex,
+    method: SearchMethod,
+    query: BenchmarkQuery,
+    settings: "BenchmarkSettings | None" = None,
+) -> SessionOutcome:
+    """Drive ``method`` through the benchmark task for ``query``.
+
+    The oracle (dataset ground truth) supplies relevance judgements and box
+    feedback after every shown image; the session stops once the target
+    number of results has been found or the image budget is exhausted.
+    """
+    settings = settings or BenchmarkSettings()
+    if index.dataset.name != query.dataset:
+        raise BenchmarkError(
+            f"Query is for dataset '{query.dataset}' but the index holds '{index.dataset.name}'"
+        )
+    oracle = OracleUser(index.dataset, query.category)
+    session = SearchSession(
+        index=index,
+        method=method,
+        text_query=query.prompt,
+        batch_size=settings.batch_size,
+    )
+    found = 0
+    while len(session.history) < settings.max_images and found < settings.target_results:
+        remaining = settings.max_images - len(session.history)
+        batch = session.next_batch(min(settings.batch_size, remaining))
+        if not batch:
+            break
+        for result in batch:
+            judgement = oracle.judge(result.image_id)
+            session.give_feedback(
+                result.image_id, judgement.relevant, judgement.boxes
+            )
+            if judgement.relevant:
+                found += 1
+    relevance = session.relevance_sequence()
+    ap = average_precision_at_cutoff(
+        relevance,
+        total_relevant=oracle.total_relevant,
+        target_results=settings.target_results,
+        max_images=settings.max_images,
+    )
+    return SessionOutcome(
+        query=query,
+        method_name=method.name,
+        average_precision=ap,
+        found=found,
+        shown=len(relevance),
+        seconds_per_round=session.stats.seconds_per_round,
+        lookup_seconds=session.stats.lookup_seconds,
+        update_seconds=session.stats.update_seconds,
+        relevance=tuple(relevance),
+    )
+
+
+def run_query_set(
+    index: SeeSawIndex,
+    method_factory: MethodFactory,
+    queries: Iterable[BenchmarkQuery],
+    settings: "BenchmarkSettings | None" = None,
+) -> "dict[str, SessionOutcome]":
+    """Run a fresh method instance over every query; keyed by query key."""
+    outcomes: dict[str, SessionOutcome] = {}
+    for query in queries:
+        outcomes[query.key] = run_search_task(index, method_factory(), query, settings)
+    return outcomes

@@ -1,0 +1,52 @@
+"""Oracle feedback: replaying ground-truth boxes as simulated user input.
+
+The accuracy benchmark (§5.1) involves no real users: when a method shows an
+image, the benchmark looks up the dataset's ground truth for the query
+category; if the image contains the category it is marked relevant and the
+annotation boxes are used as the region feedback, otherwise it is marked not
+relevant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import ImageDataset
+from repro.data.geometry import BoundingBox
+from repro.exceptions import BenchmarkError
+
+
+@dataclass(frozen=True)
+class OracleJudgement:
+    """The oracle's answer for one shown image."""
+
+    image_id: int
+    relevant: bool
+    boxes: tuple[BoundingBox, ...]
+
+
+class OracleUser:
+    """Provides ground-truth relevance and boxes for one (dataset, category)."""
+
+    def __init__(self, dataset: ImageDataset, category: str) -> None:
+        dataset.category(category)  # validate early
+        self.dataset = dataset
+        self.category = category
+
+    def judge(self, image_id: int) -> OracleJudgement:
+        """Judge one image: relevant iff it contains the category."""
+        image = self.dataset.image(image_id)
+        boxes = image.ground_truth_boxes(self.category)
+        if boxes:
+            return OracleJudgement(image_id=image_id, relevant=True, boxes=boxes)
+        return OracleJudgement(image_id=image_id, relevant=False, boxes=())
+
+    @property
+    def total_relevant(self) -> int:
+        """Number of relevant images in the dataset for this category."""
+        count = self.dataset.positive_count(self.category)
+        if count == 0:
+            raise BenchmarkError(
+                f"Category '{self.category}' has no positives in '{self.dataset.name}'"
+            )
+        return count

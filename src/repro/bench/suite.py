@@ -1,0 +1,173 @@
+"""Shared benchmark fixtures: dataset bundles and method factories.
+
+A :class:`DatasetBundle` packages everything the experiments need for one
+dataset: the synthetic dataset, its embedding model, and lazily built coarse
+and multiscale SeeSaw indexes.  Experiments at different fidelity levels
+(quick CI runs vs full paper-scale runs) are controlled by
+:class:`ExperimentScale`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.baselines import (
+    EnsMethod,
+    FewShotClipMethod,
+    PropagationMethod,
+    RocchioMethod,
+    ZeroShotClipMethod,
+)
+from repro.bench.tasks import BenchmarkQuery, queries_for_dataset
+from repro.config import MultiscaleConfig, SeeSawConfig
+from repro.core.indexing import SeeSawIndex
+from repro.core.interfaces import SearchMethod
+from repro.core.seesaw_method import SeeSawSearchMethod
+from repro.data.catalogs import load_dataset
+from repro.data.dataset import ImageDataset
+from repro.embedding.synthetic_clip import SyntheticClip
+
+DATASET_NAMES = ("lvis", "objectnet", "coco", "bdd")
+
+FULL_SCALE_ENV = "REPRO_FULL_BENCH"
+"""Set this environment variable to run experiments at full paper scale."""
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How large an experiment run should be."""
+
+    size_scale: float = 0.25
+    max_queries_per_dataset: int = 24
+    embedding_dim: int = 128
+    seed: int = 0
+    datasets: Sequence[str] = DATASET_NAMES
+
+    @classmethod
+    def from_environment(cls) -> "ExperimentScale":
+        """Quick scale by default; full paper scale when REPRO_FULL_BENCH=1."""
+        if os.environ.get(FULL_SCALE_ENV, "") not in ("", "0", "false", "False"):
+            return cls(size_scale=1.0, max_queries_per_dataset=10_000)
+        return cls()
+
+    @classmethod
+    def tiny(cls) -> "ExperimentScale":
+        """The smallest useful scale; used by integration tests."""
+        return cls(size_scale=0.08, max_queries_per_dataset=6)
+
+
+class DatasetBundle:
+    """One dataset plus its embedding and (lazily built) SeeSaw indexes."""
+
+    def __init__(
+        self,
+        dataset: ImageDataset,
+        embedding: SyntheticClip,
+        config: SeeSawConfig,
+    ) -> None:
+        self.dataset = dataset
+        self.embedding = embedding
+        self.config = config
+        self._multiscale_index: "SeeSawIndex | None" = None
+        self._coarse_index: "SeeSawIndex | None" = None
+
+    @property
+    def name(self) -> str:
+        """Dataset name (coco / lvis / objectnet / bdd)."""
+        return self.dataset.name
+
+    @property
+    def multiscale_index(self) -> SeeSawIndex:
+        """Index with the multiscale patch representation enabled."""
+        if self._multiscale_index is None:
+            config = self.config.with_overrides(
+                multiscale=MultiscaleConfig(enabled=True)
+            )
+            self._multiscale_index = SeeSawIndex.build(self.dataset, self.embedding, config)
+        return self._multiscale_index
+
+    @property
+    def coarse_index(self) -> SeeSawIndex:
+        """Index with one coarse vector per image (multiscale disabled)."""
+        if self._coarse_index is None:
+            config = self.config.with_overrides(
+                multiscale=MultiscaleConfig(enabled=False)
+            )
+            self._coarse_index = SeeSawIndex.build(self.dataset, self.embedding, config)
+        return self._coarse_index
+
+    def index(self, multiscale: bool) -> SeeSawIndex:
+        """The coarse or multiscale index, by flag."""
+        return self.multiscale_index if multiscale else self.coarse_index
+
+    def queries(
+        self, scale: ExperimentScale, min_positives: int = 2
+    ) -> "list[BenchmarkQuery]":
+        """The benchmark queries for this dataset at the given scale."""
+        return queries_for_dataset(
+            self.dataset,
+            min_positives=min_positives,
+            max_queries=scale.max_queries_per_dataset,
+            seed=scale.seed,
+        )
+
+
+def build_bundle(
+    name: str,
+    scale: "ExperimentScale | None" = None,
+    config: "SeeSawConfig | None" = None,
+) -> DatasetBundle:
+    """Generate the dataset and embedding for one named dataset profile."""
+    scale = scale or ExperimentScale()
+    config = config or SeeSawConfig(embedding_dim=scale.embedding_dim, seed=scale.seed)
+    dataset = load_dataset(name, seed=scale.seed, size_scale=scale.size_scale)
+    embedding = SyntheticClip.for_dataset(
+        dataset, dim=config.embedding_dim, seed=scale.seed
+    )
+    return DatasetBundle(dataset=dataset, embedding=embedding, config=config)
+
+
+def build_bundles(
+    scale: "ExperimentScale | None" = None,
+    config: "SeeSawConfig | None" = None,
+    names: "Sequence[str] | None" = None,
+) -> "dict[str, DatasetBundle]":
+    """Build bundles for every evaluation dataset."""
+    scale = scale or ExperimentScale()
+    names = names or scale.datasets
+    return {name: build_bundle(name, scale, config) for name in names}
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named search-method factory plus whether it uses multiscale indexes."""
+
+    name: str
+    factory: Callable[[], SearchMethod]
+    multiscale: bool = False
+
+
+def method_factories(
+    config: "SeeSawConfig | None" = None,
+    horizon: int = 60,
+    include: "Sequence[str] | None" = None,
+) -> Mapping[str, MethodSpec]:
+    """The standard method lineup of the baseline comparison (Table 3).
+
+    All methods run on the coarse index, matching the paper's note that the
+    baseline comparison disables multiscale for every method.
+    """
+    config = config or SeeSawConfig()
+    specs = {
+        "zero_shot": MethodSpec("zero_shot", ZeroShotClipMethod),
+        "few_shot": MethodSpec("few_shot", lambda: FewShotClipMethod(config)),
+        "ens": MethodSpec("ens", lambda: EnsMethod(horizon=horizon)),
+        "rocchio": MethodSpec("rocchio", RocchioMethod),
+        "seesaw": MethodSpec("seesaw", lambda: SeeSawSearchMethod(config)),
+        "propagation": MethodSpec("propagation", PropagationMethod),
+    }
+    if include is None:
+        return specs
+    return {name: specs[name] for name in include}

@@ -1,0 +1,66 @@
+"""Benchmark task definitions (§5.1).
+
+A benchmark query is one labelled category of one dataset, searched for with
+the category's text prompt.  The task is to find ``target_results`` relevant
+images within ``max_images`` inspected images.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import ImageDataset
+from repro.exceptions import BenchmarkError
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """One search task: a category searched by its text prompt on a dataset."""
+
+    dataset: str
+    category: str
+    prompt: str
+    positives: int
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used to join per-method results."""
+        return f"{self.dataset}/{self.category}"
+
+
+def queries_for_dataset(
+    dataset: ImageDataset,
+    min_positives: int = 2,
+    max_queries: "int | None" = None,
+    seed: int = 0,
+) -> "list[BenchmarkQuery]":
+    """Enumerate the benchmark queries for a dataset.
+
+    Categories with fewer than ``min_positives`` relevant images are skipped
+    (they cannot be evaluated meaningfully).  When ``max_queries`` is given, a
+    deterministic subsample is drawn, always keeping the explicitly named
+    categories (wheelchair, dog, ...) because several experiments reference
+    them directly.
+    """
+    if min_positives < 1:
+        raise BenchmarkError("min_positives must be >= 1")
+    queries = [
+        BenchmarkQuery(
+            dataset=dataset.name,
+            category=name,
+            prompt=dataset.category(name).prompt,
+            positives=dataset.positive_count(name),
+        )
+        for name in dataset.searchable_categories(min_positives=min_positives)
+    ]
+    if max_queries is None or len(queries) <= max_queries:
+        return queries
+    named = [q for q in queries if not q.category.startswith(f"{dataset.name}_category_")]
+    generated = [q for q in queries if q.category.startswith(f"{dataset.name}_category_")]
+    keep = max(0, max_queries - len(named))
+    rng = ensure_rng(seed)
+    if keep < len(generated):
+        chosen = rng.choice(len(generated), size=keep, replace=False)
+        generated = [generated[int(i)] for i in sorted(chosen)]
+    return sorted(named + generated, key=lambda q: q.category)

@@ -1,0 +1,176 @@
+"""Configuration dataclasses for the SeeSaw reproduction.
+
+The defaults follow the hyperparameters reported in the paper (§5.2) —
+``k=10`` neighbours for the kNN graph, the benchmark task cutoffs of 10
+relevant results within 60 inspected images (§5.1) — with two documented
+adaptations for the synthetic embedding substrate: the loss weights are
+rescaled (see :class:`LossWeights`) and the kernel bandwidth has an adaptive
+floor (see :class:`KnnGraphConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class LossWeights:
+    """Weights of the four terms of the SeeSaw loss (Equation 5 / Table 1).
+
+    The paper reports ``lambda = 100``, ``lambda_c = 10``, ``lambda_D = 1000``
+    for CLIP's 512-dimensional embedding and its feedback-set sizes.  The
+    loss's data term is a *sum* over feedback examples while the two
+    alignment terms are scale-free, so the useful absolute values depend on
+    the embedding geometry and on how many patch labels a round produces.
+    The defaults here are the same three weights rescaled for the synthetic
+    embedding shipped with this reproduction (each divided by roughly two
+    orders of magnitude, preserving their ratios); Table 7's sweep covers an
+    order of magnitude around them, as the paper's does around its values.
+    """
+
+    lambda_norm: float = 1.0
+    lambda_clip: float = 1.0
+    lambda_db: float = 30.0
+
+    def __post_init__(self) -> None:
+        check_positive("lambda_norm", self.lambda_norm, allow_zero=True)
+        check_positive("lambda_clip", self.lambda_clip, allow_zero=True)
+        check_positive("lambda_db", self.lambda_db, allow_zero=True)
+
+
+@dataclass(frozen=True)
+class KnnGraphConfig:
+    """kNN-graph construction parameters used for DB alignment and ENS."""
+
+    k: int = 10
+    sigma: float = 0.05
+    adaptive_sigma: bool = True
+    """When true, the kernel bandwidth is max(sigma, median neighbour
+    distance).  The paper's sigma=.05 is tuned to CLIP's embedding geometry;
+    the adaptive floor keeps the Gaussian kernel informative for embeddings
+    with different typical neighbour distances (such as the synthetic one)."""
+    use_nn_descent: bool = False
+    nn_descent_iterations: int = 8
+    nn_descent_sample_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        check_positive("sigma", self.sigma)
+        if self.nn_descent_iterations < 1:
+            raise ConfigurationError(
+                f"nn_descent_iterations must be >= 1, got {self.nn_descent_iterations}"
+            )
+        check_probability("nn_descent_sample_rate", self.nn_descent_sample_rate)
+
+
+@dataclass(frozen=True)
+class MultiscaleConfig:
+    """Multiscale patch-tiling configuration (§4.3).
+
+    The paper uses the coarse full-image patch plus a tiling of patches half
+    the image size, strided by half a patch, as long as patches stay at least
+    ``min_patch_pixels`` on a side (224 px for CLIP).
+    """
+
+    enabled: bool = True
+    min_patch_pixels: int = 224
+    patch_fraction: float = 0.5
+    stride_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("min_patch_pixels", self.min_patch_pixels)
+        check_probability("patch_fraction", self.patch_fraction)
+        check_probability("stride_fraction", self.stride_fraction)
+        if self.patch_fraction == 0 or self.stride_fraction == 0:
+            raise ConfigurationError("patch_fraction and stride_fraction must be > 0")
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """L-BFGS settings used when minimising the SeeSaw loss (§4.4)."""
+
+    max_iterations: int = 50
+    history_size: int = 10
+    gradient_tolerance: float = 1e-6
+    initial_step: float = 1.0
+    wolfe_c1: float = 1e-4
+    wolfe_c2: float = 0.9
+    max_line_search_steps: int = 25
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        if self.history_size < 1:
+            raise ConfigurationError("history_size must be >= 1")
+        check_positive("gradient_tolerance", self.gradient_tolerance)
+        check_positive("initial_step", self.initial_step)
+        if not 0 < self.wolfe_c1 < self.wolfe_c2 < 1:
+            raise ConfigurationError("require 0 < wolfe_c1 < wolfe_c2 < 1")
+
+
+@dataclass(frozen=True)
+class BenchmarkTaskConfig:
+    """The benchmark task of §5.1: find ``target_results`` within ``max_images``."""
+
+    target_results: int = 10
+    max_images: int = 60
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.target_results < 1:
+            raise ConfigurationError("target_results must be >= 1")
+        if self.max_images < self.target_results:
+            raise ConfigurationError("max_images must be >= target_results")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class SeeSawConfig:
+    """Top-level configuration combining every tunable piece of SeeSaw."""
+
+    embedding_dim: int = 128
+    loss: LossWeights = field(default_factory=LossWeights)
+    knn: KnnGraphConfig = field(default_factory=KnnGraphConfig)
+    multiscale: MultiscaleConfig = field(default_factory=MultiscaleConfig)
+    optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+    task: BenchmarkTaskConfig = field(default_factory=BenchmarkTaskConfig)
+    use_clip_alignment: bool = True
+    use_db_alignment: bool = True
+    fit_bias: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim < 2:
+            raise ConfigurationError("embedding_dim must be >= 2")
+
+    def with_overrides(self, **overrides: Any) -> "SeeSawConfig":
+        """Return a copy with the given top-level fields replaced."""
+        return replace(self, **overrides)
+
+    def describe(self) -> Mapping[str, Any]:
+        """A flat mapping of the most important knobs, handy for reports."""
+        return {
+            "embedding_dim": self.embedding_dim,
+            "lambda_norm": self.loss.lambda_norm,
+            "lambda_clip": self.loss.lambda_clip,
+            "lambda_db": self.loss.lambda_db,
+            "knn_k": self.knn.k,
+            "knn_sigma": self.knn.sigma,
+            "multiscale": self.multiscale.enabled,
+            "use_clip_alignment": self.use_clip_alignment,
+            "use_db_alignment": self.use_db_alignment,
+            "fit_bias": self.fit_bias,
+            "target_results": self.task.target_results,
+            "max_images": self.task.max_images,
+            "seed": self.seed,
+        }
+
+
+PAPER_DEFAULT_CONFIG = SeeSawConfig()
+"""The configuration matching the paper's reported hyperparameters (§5.2)."""

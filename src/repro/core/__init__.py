@@ -1,0 +1,41 @@
+"""SeeSaw core: the paper's primary contribution.
+
+* :mod:`repro.core.multiscale` — the multi-vector, multi-scale image
+  representation (§4.3).
+* :mod:`repro.core.indexing` — dataset preprocessing: patch embedding, vector
+  store, kNN graph, and the DB-alignment matrix ``M_D`` (§2.4, §4.2).
+* :mod:`repro.core.feedback` — box feedback and its conversion to patch labels.
+* :mod:`repro.core.loss` — the SeeSaw loss (Equation 5 / Table 1) with
+  analytic gradients.
+* :mod:`repro.core.propagation` — label propagation and the collapsed
+  quadratic DB-alignment term (§4.2).
+* :mod:`repro.core.aligner` — :class:`SeeSawQueryAligner`, the query_align
+  implementation of Listing 1.
+* :mod:`repro.core.session` — the interactive search loop (Listing 1).
+"""
+
+from repro.core.aligner import SeeSawQueryAligner
+from repro.core.feedback import BoxFeedback, FeedbackMap
+from repro.core.indexing import SeeSawIndex
+from repro.core.interfaces import ImageResult, SearchContext, SearchMethod
+from repro.core.loss import SeeSawLoss
+from repro.core.multiscale import generate_patches
+from repro.core.propagation import compute_db_alignment_matrix, propagate_labels
+from repro.core.seesaw_method import SeeSawSearchMethod
+from repro.core.session import SearchSession
+
+__all__ = [
+    "SeeSawQueryAligner",
+    "SeeSawLoss",
+    "SeeSawIndex",
+    "SeeSawSearchMethod",
+    "SearchSession",
+    "SearchContext",
+    "SearchMethod",
+    "ImageResult",
+    "BoxFeedback",
+    "FeedbackMap",
+    "generate_patches",
+    "compute_db_alignment_matrix",
+    "propagate_labels",
+]

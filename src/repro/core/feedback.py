@@ -1,0 +1,154 @@
+"""User feedback: box annotations and their conversion to patch labels.
+
+The user marks relevant regions with boxes (or marks a whole image as not
+relevant).  Patch vectors whose pre-indexed box overlaps a feedback box are
+treated as positive examples for the next alignment round; patches of the
+same image with no overlap are negatives, and every patch of an image marked
+not-relevant is a negative (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.data.geometry import BoundingBox
+from repro.exceptions import SessionError
+
+if TYPE_CHECKING:  # pragma: no cover - import only used for type checking
+    from repro.core.indexing import SeeSawIndex
+
+
+@dataclass(frozen=True)
+class BoxFeedback:
+    """Feedback for one image: relevant region boxes, or a negative judgement."""
+
+    image_id: int
+    relevant: bool
+    boxes: tuple[BoundingBox, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.relevant and not self.boxes:
+            raise SessionError(
+                f"Image {self.image_id} marked relevant requires at least one box"
+            )
+        if not self.relevant and self.boxes:
+            raise SessionError(
+                f"Image {self.image_id} marked not relevant must not carry boxes"
+            )
+
+    @staticmethod
+    def positive(image_id: int, boxes: Iterable[BoundingBox]) -> "BoxFeedback":
+        """Feedback marking ``image_id`` relevant with the given region boxes."""
+        return BoxFeedback(image_id=image_id, relevant=True, boxes=tuple(boxes))
+
+    @staticmethod
+    def negative(image_id: int) -> "BoxFeedback":
+        """Feedback marking ``image_id`` not relevant."""
+        return BoxFeedback(image_id=image_id, relevant=False)
+
+
+@dataclass
+class FeedbackMap:
+    """Accumulated feedback across a search session (Listing 1, line 6)."""
+
+    _items: "dict[int, BoxFeedback]" = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, image_id: int) -> bool:
+        return image_id in self._items
+
+    def __iter__(self) -> Iterator[BoxFeedback]:
+        return iter(self._items.values())
+
+    def update(self, feedback: BoxFeedback) -> None:
+        """Record (or overwrite) the feedback for one image."""
+        self._items[feedback.image_id] = feedback
+
+    def get(self, image_id: int) -> "BoxFeedback | None":
+        """The feedback recorded for ``image_id``, if any."""
+        return self._items.get(image_id)
+
+    @property
+    def image_ids(self) -> frozenset[int]:
+        """Every image that has received feedback."""
+        return frozenset(self._items)
+
+    @property
+    def positive_count(self) -> int:
+        """Number of images marked relevant."""
+        return sum(1 for feedback in self._items.values() if feedback.relevant)
+
+    @property
+    def negative_count(self) -> int:
+        """Number of images marked not relevant."""
+        return len(self._items) - self.positive_count
+
+    def as_mapping(self) -> Mapping[int, BoxFeedback]:
+        """Read-only view of the feedback by image id."""
+        return dict(self._items)
+
+    # ------------------------------------------------------------------
+    # training-set construction
+    # ------------------------------------------------------------------
+    def to_patch_labels(
+        self, index: "SeeSawIndex", min_box_overlap: float = 0.0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Convert feedback into a patch-level training set.
+
+        Returns ``(vectors, labels, vector_ids)`` where each row of ``vectors``
+        is a stored patch vector of an image with feedback, and ``labels`` is 1
+        for patches overlapping a positive feedback box and 0 otherwise.
+        """
+        vector_ids: list[int] = []
+        labels: list[float] = []
+        for feedback in self._items.values():
+            for vector_id in index.vector_ids_for_image(feedback.image_id):
+                record = index.store.record(vector_id)
+                if feedback.relevant:
+                    overlap = any(
+                        record.box.intersection(box) > min_box_overlap
+                        for box in feedback.boxes
+                    )
+                    labels.append(1.0 if overlap else 0.0)
+                else:
+                    labels.append(0.0)
+                vector_ids.append(vector_id)
+        if not vector_ids:
+            dim = index.store.dim
+            return np.zeros((0, dim)), np.zeros(0), np.zeros(0, dtype=np.int64)
+        ids = np.asarray(vector_ids, dtype=np.int64)
+        vectors = np.asarray(index.store.vectors[ids])
+        return vectors, np.asarray(labels, dtype=np.float64), ids
+
+    def to_weighted_patch_labels(
+        self, index: "SeeSawIndex", min_box_overlap: float = 0.0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Patch training set plus per-example weights of 1 / (patches per image).
+
+        With the multiscale representation a single image contributes an order
+        of magnitude more labelled vectors than a coarse index does; these
+        weights keep each *image* contributing one unit to the data term, so
+        the loss weights behave the same in both regimes.
+        """
+        vectors, labels, vector_ids = self.to_patch_labels(index, min_box_overlap)
+        if vector_ids.size == 0:
+            return vectors, labels, np.zeros(0), vector_ids
+        weights = np.array(
+            [
+                1.0 / max(1, len(index.vector_ids_for_image(index.store.record(int(vid)).image_id)))
+                for vid in vector_ids
+            ]
+        )
+        return vectors, labels, weights, vector_ids
+
+    def to_image_labels(self) -> "dict[int, float]":
+        """Image-level labels (1 relevant / 0 not), used by coarse-only methods."""
+        return {
+            feedback.image_id: 1.0 if feedback.relevant else 0.0
+            for feedback in self._items.values()
+        }

@@ -1,0 +1,202 @@
+"""Dataset preprocessing: the SeeSaw index (Figure 3, top half).
+
+Preprocessing embeds every image (or every multiscale patch of every image),
+builds the vector store used for max-inner-product lookups, builds the kNN
+graph over the stored vectors, and precomputes the DB-alignment matrix
+``M_D``.  All of this happens once per dataset and is reused by every query.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SeeSawConfig
+from repro.core.multiscale import generate_patches
+from repro.core.propagation import compute_db_alignment_matrix
+from repro.data.dataset import ImageDataset
+from repro.embedding.base import EmbeddingModel
+from repro.exceptions import IndexingError
+from repro.knng.graph import KnnGraph, build_knn_graph
+from repro.vectorstore.base import VectorRecord, VectorStore
+from repro.vectorstore.exact import ExactVectorStore
+from repro.vectorstore.forest import RandomProjectionForest
+
+
+@dataclass
+class IndexBuildReport:
+    """Timing and size information about a preprocessing run (§2.4)."""
+
+    dataset_name: str
+    image_count: int
+    vector_count: int
+    embedding_seconds: float
+    store_seconds: float
+    graph_seconds: float
+    multiscale: bool
+
+    @property
+    def vectors_per_image(self) -> float:
+        """Average number of stored vectors per image."""
+        return self.vector_count / max(1, self.image_count)
+
+
+class SeeSawIndex:
+    """The preprocessed artifacts SeeSaw needs to search one dataset."""
+
+    def __init__(
+        self,
+        dataset: ImageDataset,
+        embedding: EmbeddingModel,
+        store: VectorStore,
+        image_vector_ids: "dict[int, tuple[int, ...]]",
+        knn_graph: "KnnGraph | None",
+        db_matrix: "np.ndarray | None",
+        config: SeeSawConfig,
+        build_report: IndexBuildReport,
+    ) -> None:
+        self.dataset = dataset
+        self.embedding = embedding
+        self.store = store
+        self._image_vector_ids = image_vector_ids
+        self.knn_graph = knn_graph
+        self.db_matrix = db_matrix
+        self.config = config
+        self.build_report = build_report
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        dataset: ImageDataset,
+        embedding: EmbeddingModel,
+        config: "SeeSawConfig | None" = None,
+        store_kind: str = "exact",
+        compute_db_alignment: bool = True,
+        build_graph: bool = True,
+    ) -> "SeeSawIndex":
+        """Run the one-time preprocessing pass for ``dataset``.
+
+        Parameters
+        ----------
+        dataset:
+            The image dataset to index.
+        embedding:
+            The visual-semantic embedding used for patches and text.
+        config:
+            SeeSaw configuration; its ``multiscale`` section controls tiling.
+        store_kind:
+            ``"exact"`` for a brute-force store or ``"forest"`` for the
+            Annoy-style approximate store.
+        compute_db_alignment:
+            Whether to precompute the DB-alignment matrix ``M_D``.
+        build_graph:
+            Whether to build the kNN graph (needed for DB alignment, the
+            propagation baseline, and ENS).
+        """
+        config = config or SeeSawConfig()
+        vectors: list[np.ndarray] = []
+        records: list[VectorRecord] = []
+        image_vector_ids: dict[int, list[int]] = {}
+        embed_start = time.perf_counter()
+        vector_id = 0
+        for image in dataset.images:
+            patch_specs = generate_patches(image.width, image.height, config.multiscale)
+            ids: list[int] = []
+            for box, scale_level in patch_specs:
+                vectors.append(embedding.embed_region(image, box))
+                records.append(
+                    VectorRecord(
+                        vector_id=vector_id,
+                        image_id=image.image_id,
+                        box=box,
+                        scale_level=scale_level,
+                    )
+                )
+                ids.append(vector_id)
+                vector_id += 1
+            image_vector_ids[image.image_id] = ids
+        embedding_seconds = time.perf_counter() - embed_start
+        matrix = np.stack(vectors)
+
+        store_start = time.perf_counter()
+        if store_kind == "exact":
+            store: VectorStore = ExactVectorStore(matrix, records)
+        elif store_kind == "forest":
+            store = RandomProjectionForest(matrix, records, seed=config.seed)
+        else:
+            raise IndexingError(f"Unknown store kind '{store_kind}'")
+        store_seconds = time.perf_counter() - store_start
+
+        graph_start = time.perf_counter()
+        knn_graph = None
+        db_matrix = None
+        if build_graph:
+            knn_graph = build_knn_graph(store.vectors, config.knn, seed=config.seed)
+            if compute_db_alignment:
+                db_matrix = compute_db_alignment_matrix(store.vectors, knn_graph)
+        graph_seconds = time.perf_counter() - graph_start
+
+        report = IndexBuildReport(
+            dataset_name=dataset.name,
+            image_count=len(dataset),
+            vector_count=len(store),
+            embedding_seconds=embedding_seconds,
+            store_seconds=store_seconds,
+            graph_seconds=graph_seconds,
+            multiscale=config.multiscale.enabled,
+        )
+        return cls(
+            dataset=dataset,
+            embedding=embedding,
+            store=store,
+            image_vector_ids={k: tuple(v) for k, v in image_vector_ids.items()},
+            knn_graph=knn_graph,
+            db_matrix=db_matrix,
+            config=config,
+            build_report=report,
+        )
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    @property
+    def vector_count(self) -> int:
+        """Number of stored vectors (patches)."""
+        return len(self.store)
+
+    @property
+    def image_ids(self) -> tuple[int, ...]:
+        """All indexed image ids."""
+        return tuple(self._image_vector_ids)
+
+    def vector_ids_for_image(self, image_id: int) -> tuple[int, ...]:
+        """The stored vector ids belonging to one image."""
+        try:
+            return self._image_vector_ids[image_id]
+        except KeyError as exc:
+            raise IndexingError(f"Image {image_id} is not in the index") from exc
+
+    def vector_ids_for_images(self, image_ids: "frozenset[int] | set[int]") -> set[int]:
+        """The union of vector ids for a set of images."""
+        ids: set[int] = set()
+        for image_id in image_ids:
+            ids.update(self.vector_ids_for_image(image_id))
+        return ids
+
+    def embed_query(self, text: str) -> np.ndarray:
+        """Embed a text query with the index's embedding model."""
+        return self.embedding.embed_text(text)
+
+    def coarse_vector_ids(self) -> np.ndarray:
+        """Vector ids of the coarse (whole-image) patches, in image order."""
+        ids = [
+            vector_ids[0]
+            for vector_ids in self._image_vector_ids.values()
+            if vector_ids
+        ]
+        return np.asarray(ids, dtype=np.int64)

@@ -1,0 +1,140 @@
+"""Interfaces shared by SeeSaw and the baseline search methods.
+
+Every method (zero-shot CLIP, few-shot CLIP, Rocchio, ENS, SeeSaw, the
+propagation variant) is a :class:`SearchMethod`: it starts from a text query,
+proposes the next images to show, and updates its internal state from the
+accumulated feedback.  :class:`SearchSession` (Listing 1) drives any of them
+through the same loop, which is how the benchmarks compare them fairly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.feedback import FeedbackMap
+from repro.core.indexing import SeeSawIndex
+from repro.data.geometry import BoundingBox
+from repro.exceptions import SessionError
+from repro.vectorstore.exact import ExactVectorStore
+
+
+@dataclass(frozen=True)
+class ImageResult:
+    """One image proposed to the user, with the patch that triggered it."""
+
+    image_id: int
+    score: float
+    vector_id: int
+    box: BoundingBox
+
+
+class SearchContext:
+    """What a search method is allowed to see: the index, never the labels."""
+
+    def __init__(self, index: SeeSawIndex) -> None:
+        self.index = index
+
+    @property
+    def store(self):
+        """The vector store of the indexed dataset."""
+        return self.index.store
+
+    @property
+    def embedding(self):
+        """The embedding model used for text queries."""
+        return self.index.embedding
+
+    def embed_text(self, text: str) -> np.ndarray:
+        """Embed the user's text query."""
+        return self.index.embed_query(text)
+
+    # ------------------------------------------------------------------
+    # result selection helpers
+    # ------------------------------------------------------------------
+    def top_unseen_images(
+        self,
+        query_vector: np.ndarray,
+        count: int,
+        excluded_image_ids: "frozenset[int] | set[int]",
+    ) -> "list[ImageResult]":
+        """The ``count`` best-scoring unseen images for ``query_vector``.
+
+        Patch hits are grouped into images (an image scores the maximum of
+        its patches, §4.3); images already shown are excluded via their
+        stored vector ids so the store lookup does the filtering.
+        """
+        if count < 1:
+            raise SessionError("count must be >= 1")
+        excluded_vectors = self.index.vector_ids_for_images(excluded_image_ids)
+        per_image = max(1, round(self.index.vector_count / max(1, len(self.index.image_ids))))
+        k = count * per_image + len(excluded_vectors)
+        results: list[ImageResult] = []
+        while True:
+            k = min(k, self.index.vector_count)
+            hits = self.store.search(query_vector, k=k, exclude_vector_ids=excluded_vectors)
+            results = []
+            seen: set[int] = set()
+            for hit in hits:
+                image_id = hit.record.image_id
+                if image_id in excluded_image_ids or image_id in seen:
+                    continue
+                seen.add(image_id)
+                results.append(
+                    ImageResult(
+                        image_id=image_id,
+                        score=hit.score,
+                        vector_id=hit.vector_id,
+                        box=hit.record.box,
+                    )
+                )
+                if len(results) >= count:
+                    return results
+            if k >= self.index.vector_count:
+                return results
+            k *= 2
+
+    def score_all_images(self, query_vector: np.ndarray) -> "dict[int, float]":
+        """Max-pooled per-image scores over the whole database.
+
+        This is a full linear scan; SeeSaw itself avoids it, but baselines
+        such as ENS and label propagation need global scores (which is
+        precisely the scaling problem Table 6 documents).
+        """
+        store = self.store
+        if isinstance(store, ExactVectorStore):
+            scores = store.score_all(query_vector)
+        else:
+            scores = store.vectors @ np.asarray(query_vector, dtype=np.float64)
+        image_scores: dict[int, float] = {}
+        for image_id in self.index.image_ids:
+            vector_ids = np.asarray(self.index.vector_ids_for_image(image_id), dtype=np.int64)
+            image_scores[image_id] = float(scores[vector_ids].max())
+        return image_scores
+
+
+class SearchMethod(ABC):
+    """A relevance-feedback search strategy driven by :class:`SearchSession`."""
+
+    name: str = "method"
+
+    @abstractmethod
+    def begin(self, context: SearchContext, text_query: str) -> None:
+        """Reset internal state and start a new search from ``text_query``."""
+
+    @abstractmethod
+    def next_images(
+        self, count: int, excluded_image_ids: "frozenset[int] | set[int]"
+    ) -> "list[ImageResult]":
+        """Propose the next ``count`` images, never repeating excluded ones."""
+
+    @abstractmethod
+    def observe(self, feedback: FeedbackMap) -> None:
+        """Incorporate the feedback accumulated so far (Listing 1, line 7)."""
+
+    @property
+    def query_vector(self) -> "np.ndarray | None":
+        """The method's current internal query vector, when it has one."""
+        return None

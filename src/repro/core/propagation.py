@@ -1,0 +1,120 @@
+"""Label propagation and the collapsed DB-alignment matrix (§4.2).
+
+Two pieces live here:
+
+* :func:`propagate_labels` — the Zhu & Ghahramani label-propagation algorithm
+  over the kNN graph.  It is the conceptual starting point of DB alignment
+  and also powers the "SeeSaw prop." latency/accuracy comparison (Table 6).
+* :func:`compute_db_alignment_matrix` — the once-per-dataset precomputation of
+  ``M_D = X_D^T (D - W) X_D``, the d x d matrix that lets SeeSaw apply the
+  same smoothness pressure as propagation without touching the full database
+  at query time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import IndexingError
+from repro.knng.graph import KnnGraph
+
+
+def compute_db_alignment_matrix(
+    vectors: np.ndarray,
+    graph: KnnGraph,
+    normalize_by_count: bool = True,
+) -> np.ndarray:
+    """Compute ``M_D = X^T (D - W) X`` from the database vectors and kNN graph.
+
+    Parameters
+    ----------
+    vectors:
+        ``(count, d)`` matrix of database vectors ``X_D``.
+    graph:
+        The kNN graph built over the same vectors.
+    normalize_by_count:
+        When true the matrix is divided by the number of vectors, turning the
+        sum over graph edges into a mean.  The paper leaves the scaling
+        implicit in ``lambda_DB``; normalising keeps the reported
+        ``lambda_DB = 1000`` meaningful across database sizes.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise IndexingError("vectors must be 2-d (count x dim)")
+    if vectors.shape[0] != graph.node_count:
+        raise IndexingError(
+            f"graph has {graph.node_count} nodes but {vectors.shape[0]} vectors were given"
+        )
+    laplacian = graph.laplacian()
+    matrix = vectors.T @ (laplacian @ vectors)
+    if normalize_by_count:
+        matrix = matrix / float(vectors.shape[0])
+    # Numerical symmetrisation; the Laplacian is symmetric so M_D should be.
+    return (matrix + matrix.T) / 2.0
+
+
+def smoothness_penalty(matrix: np.ndarray, query: np.ndarray) -> float:
+    """Evaluate ``(w/|w|)^T M_D (w/|w|)`` — the DB-alignment penalty of a query."""
+    query = np.asarray(query, dtype=np.float64).ravel()
+    norm = float(np.linalg.norm(query))
+    if norm == 0.0:
+        return 0.0
+    unit = query / norm
+    return float(unit @ (np.asarray(matrix, dtype=np.float64) @ unit))
+
+
+def propagate_labels(
+    graph: KnnGraph,
+    labeled: "dict[int, float]",
+    iterations: int = 30,
+    tolerance: float = 1e-5,
+    prior: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Propagate a handful of labels over the kNN graph (Zhu & Ghahramani).
+
+    Labelled nodes are clamped to their labels on every iteration; unlabelled
+    nodes repeatedly take the weighted average of their neighbours.  Returns a
+    soft label in [0, 1] for every node.
+
+    Parameters
+    ----------
+    graph:
+        The kNN graph over the database vectors.
+    labeled:
+        Mapping from node index to its observed label (0 or 1).
+    iterations:
+        Maximum number of propagation sweeps.
+    tolerance:
+        Early-stopping threshold on the largest per-node change.
+    prior:
+        Optional initial score per node (for example calibrated CLIP scores);
+        defaults to 0.5 for unlabelled nodes.
+    """
+    count = graph.node_count
+    if prior is None:
+        scores = np.full(count, 0.5, dtype=np.float64)
+    else:
+        scores = np.asarray(prior, dtype=np.float64).copy()
+        if scores.shape[0] != count:
+            raise IndexingError("prior must have one entry per graph node")
+    labeled_ids = np.array(sorted(labeled), dtype=np.int64)
+    if labeled_ids.size and (labeled_ids.min() < 0 or labeled_ids.max() >= count):
+        raise IndexingError("labeled node index out of range")
+    labeled_values = np.array([labeled[int(i)] for i in labeled_ids], dtype=np.float64)
+
+    adjacency = graph.adjacency()
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    degrees[degrees == 0.0] = 1.0
+    inverse_degree = sparse.diags(1.0 / degrees)
+    transition = inverse_degree @ adjacency
+
+    scores[labeled_ids] = labeled_values
+    for _ in range(iterations):
+        updated = transition @ scores
+        updated[labeled_ids] = labeled_values
+        change = float(np.max(np.abs(updated - scores))) if count else 0.0
+        scores = updated
+        if change < tolerance:
+            break
+    return np.clip(scores, 0.0, 1.0)

@@ -1,0 +1,39 @@
+"""Synthetic image-dataset substrate.
+
+The paper evaluates on COCO, LVIS, ObjectNet, and BDD.  Those datasets are
+used only through their object annotations (categories + boxes) and their
+image-size statistics, so this package provides synthetic datasets exposing
+the same structure: images containing object instances with bounding boxes,
+organised into categories whose frequency and typical object size follow
+per-dataset profiles.
+"""
+
+from repro.data.catalogs import (
+    DATASET_PROFILES,
+    bdd_like,
+    coco_like,
+    load_dataset,
+    lvis_like,
+    objectnet_like,
+)
+from repro.data.dataset import CategoryInfo, DatasetStatistics, ImageDataset
+from repro.data.generators import DatasetProfile, SceneGenerator
+from repro.data.geometry import BoundingBox
+from repro.data.image import ObjectInstance, SyntheticImage
+
+__all__ = [
+    "BoundingBox",
+    "ObjectInstance",
+    "SyntheticImage",
+    "CategoryInfo",
+    "ImageDataset",
+    "DatasetStatistics",
+    "DatasetProfile",
+    "SceneGenerator",
+    "DATASET_PROFILES",
+    "coco_like",
+    "lvis_like",
+    "objectnet_like",
+    "bdd_like",
+    "load_dataset",
+]

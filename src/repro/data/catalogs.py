@@ -1,0 +1,190 @@
+"""Dataset catalogs: synthetic stand-ins for the paper's four datasets.
+
+The profiles below do not reproduce COCO/LVIS/ObjectNet/BDD pixel content —
+they reproduce the *statistics the evaluation depends on*:
+
+* **COCO-like**  — few, common, large, easy categories; zero-shot is strong.
+* **LVIS-like**  — many categories, many small objects per image, a long tail
+  of rare and misaligned queries.
+* **ObjectNet-like** — fixed 224x224 images with one centered object, many
+  categories, a substantial fraction of misaligned queries (the dataset is
+  bias-controlled, so the text prompt often aligns poorly).
+* **BDD-like**   — large driving-scene images, few categories, mostly very
+  common and easy (car, person), with rare hard queries (wheelchair, "car
+  with open door") whose objects are tiny — the case multiscale fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.data.dataset import ImageDataset
+from repro.data.generators import CategorySpec, DatasetProfile, SceneGenerator
+from repro.exceptions import DatasetError
+
+COCO_PROFILE = DatasetProfile(
+    name="coco",
+    description="COCO-like: common, large, well-aligned object categories.",
+    image_count=1200,
+    category_count=60,
+    image_sizes=((640, 480), (640, 426), (500, 375)),
+    contexts=("indoor", "outdoor", "street", "sports", "food"),
+    objects_per_image=(2, 5),
+    object_scale_range=(0.30, 0.70),
+    frequency_range=(0.02, 0.12),
+    rare_fraction=0.10,
+    easy_query_fraction=0.92,
+    hard_deficit_range=(0.90, 1.30),
+    locality_noise=0.20,
+    named_categories=(
+        CategorySpec("dog", frequency=0.05, alignment_deficit=0.08, object_scale=0.5),
+        CategorySpec("spoon", frequency=0.03, alignment_deficit=0.12, object_scale=0.2),
+        CategorySpec("bicycle", frequency=0.05, alignment_deficit=0.10, object_scale=0.45),
+    ),
+)
+
+LVIS_PROFILE = DatasetProfile(
+    name="lvis",
+    description="LVIS-like: large vocabulary, many small objects, long rare tail.",
+    image_count=1200,
+    category_count=150,
+    image_sizes=((640, 480), (640, 426), (500, 375)),
+    contexts=("indoor", "outdoor", "street", "kitchen", "office"),
+    objects_per_image=(4, 10),
+    object_scale_range=(0.10, 0.45),
+    frequency_range=(0.004, 0.06),
+    rare_fraction=0.45,
+    easy_query_fraction=0.60,
+    hard_deficit_range=(0.85, 1.35),
+    locality_noise=0.24,
+    named_categories=(
+        CategorySpec("dustpan", frequency=0.008, alignment_deficit=0.85, object_scale=0.2),
+        CategorySpec("melon", frequency=0.010, alignment_deficit=0.70, object_scale=0.25),
+        CategorySpec("egg_carton", frequency=0.008, alignment_deficit=0.95, object_scale=0.22),
+    ),
+)
+
+OBJECTNET_PROFILE = DatasetProfile(
+    name="objectnet",
+    description="ObjectNet-like: fixed-size, centered single objects, bias-controlled.",
+    image_count=1000,
+    category_count=100,
+    image_sizes=((224, 224),),
+    contexts=("household",),
+    objects_per_image=(1, 1),
+    object_scale_range=(0.70, 0.95),
+    frequency_range=(0.006, 0.02),
+    rare_fraction=0.2,
+    easy_query_fraction=0.60,
+    hard_deficit_range=(0.90, 1.40),
+    locality_noise=0.22,
+    named_categories=(
+        CategorySpec("wheelchair", frequency=0.008, alignment_deficit=1.0, object_scale=0.8),
+        CategorySpec("dustpan", frequency=0.009, alignment_deficit=0.9, object_scale=0.8),
+        CategorySpec("egg_carton", frequency=0.009, alignment_deficit=0.8, object_scale=0.8),
+        CategorySpec("spoon", frequency=0.010, alignment_deficit=0.15, object_scale=0.8),
+    ),
+)
+
+BDD_PROFILE = DatasetProfile(
+    name="bdd",
+    description="BDD-like: large dash-cam scenes, few classes, tiny rare objects.",
+    image_count=1000,
+    category_count=12,
+    image_sizes=((1280, 720),),
+    contexts=("highway", "city_street", "residential", "night_street"),
+    objects_per_image=(3, 8),
+    object_scale_range=(0.06, 0.25),
+    frequency_range=(0.05, 0.45),
+    rare_fraction=0.0,
+    easy_query_fraction=0.85,
+    hard_deficit_range=(0.45, 0.9),
+    locality_noise=0.22,
+    min_positives=4,
+    named_categories=(
+        CategorySpec("car", frequency=0.60, alignment_deficit=0.05, object_scale=0.18),
+        CategorySpec("person", frequency=0.35, alignment_deficit=0.06, object_scale=0.10),
+        CategorySpec("bicycle", frequency=0.10, alignment_deficit=0.10, object_scale=0.12),
+        CategorySpec("dog", frequency=0.015, alignment_deficit=0.55, object_scale=0.08),
+        CategorySpec("wheelchair", frequency=0.006, alignment_deficit=1.05, object_scale=0.07),
+        CategorySpec(
+            "car_with_open_door", frequency=0.005, alignment_deficit=1.15, object_scale=0.16
+        ),
+    ),
+)
+
+DATASET_PROFILES: Mapping[str, DatasetProfile] = {
+    "coco": COCO_PROFILE,
+    "lvis": LVIS_PROFILE,
+    "objectnet": OBJECTNET_PROFILE,
+    "bdd": BDD_PROFILE,
+}
+
+
+def _scaled_profile(profile: DatasetProfile, size_scale: float) -> DatasetProfile:
+    """Scale the image count of a profile (used by tests and quick benches)."""
+    if size_scale == 1.0:
+        return profile
+    image_count = max(20, int(round(profile.image_count * size_scale)))
+    category_count = profile.category_count
+    if size_scale < 1.0:
+        # Keep per-category positive counts workable by shrinking the
+        # vocabulary with the data, never below the named categories.
+        category_count = max(
+            len(profile.named_categories) + 4,
+            int(round(profile.category_count * max(size_scale, 0.2))),
+        )
+    return DatasetProfile(
+        name=profile.name,
+        description=profile.description,
+        image_count=image_count,
+        category_count=category_count,
+        image_sizes=profile.image_sizes,
+        contexts=profile.contexts,
+        objects_per_image=profile.objects_per_image,
+        object_scale_range=profile.object_scale_range,
+        frequency_range=profile.frequency_range,
+        rare_fraction=profile.rare_fraction,
+        easy_query_fraction=profile.easy_query_fraction,
+        hard_deficit_range=profile.hard_deficit_range,
+        easy_deficit_range=profile.easy_deficit_range,
+        locality_noise=profile.locality_noise,
+        min_positives=profile.min_positives,
+        named_categories=profile.named_categories,
+    )
+
+
+def load_dataset(name: str, seed: int = 0, size_scale: float = 1.0) -> ImageDataset:
+    """Generate one of the four named synthetic datasets.
+
+    Parameters
+    ----------
+    name:
+        One of ``"coco"``, ``"lvis"``, ``"objectnet"``, ``"bdd"``.
+    seed:
+        Seed controlling the generated scenes (datasets are deterministic in it).
+    size_scale:
+        Multiplier on the number of images, useful for fast tests.
+    """
+    try:
+        profile = DATASET_PROFILES[name]
+    except KeyError as exc:
+        raise DatasetError(
+            f"Unknown dataset '{name}'; expected one of {sorted(DATASET_PROFILES)}"
+        ) from exc
+    return SceneGenerator(_scaled_profile(profile, size_scale), seed=seed).generate()
+
+
+def _make_loader(name: str) -> Callable[..., ImageDataset]:
+    def loader(seed: int = 0, size_scale: float = 1.0) -> ImageDataset:
+        return load_dataset(name, seed=seed, size_scale=size_scale)
+
+    loader.__name__ = f"{name}_like"
+    loader.__doc__ = f"Generate the {name.upper()}-like synthetic dataset."
+    return loader
+
+
+coco_like = _make_loader("coco")
+lvis_like = _make_loader("lvis")
+objectnet_like = _make_loader("objectnet")
+bdd_like = _make_loader("bdd")

@@ -1,0 +1,90 @@
+"""Axis-aligned bounding boxes and overlap math.
+
+Boxes are the unit of user feedback in SeeSaw: the user draws boxes around
+relevant regions, and the multiscale index compares those boxes with the
+pre-indexed patch boxes to derive positive / negative patch labels (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned box in pixel coordinates: ``(x, y)`` is the top-left."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise DatasetError(
+                f"BoundingBox must have positive size, got {self.width}x{self.height}"
+            )
+
+    @property
+    def x2(self) -> float:
+        """Right edge coordinate."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Bottom edge coordinate."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        """Box area in square pixels."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """The ``(cx, cy)`` center point."""
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def intersection(self, other: "BoundingBox") -> float:
+        """Area of the intersection with ``other`` (0 when disjoint)."""
+        overlap_w = min(self.x2, other.x2) - max(self.x, other.x)
+        overlap_h = min(self.y2, other.y2) - max(self.y, other.y)
+        if overlap_w <= 0 or overlap_h <= 0:
+            return 0.0
+        return overlap_w * overlap_h
+
+    def iou(self, other: "BoundingBox") -> float:
+        """Intersection-over-union with ``other``."""
+        inter = self.intersection(other)
+        if inter == 0.0:
+            return 0.0
+        return inter / (self.area + other.area - inter)
+
+    def overlap_fraction(self, other: "BoundingBox") -> float:
+        """Fraction of *this* box covered by ``other``."""
+        return self.intersection(other) / self.area
+
+    def overlaps(self, other: "BoundingBox") -> bool:
+        """True when the two boxes share any area."""
+        return self.intersection(other) > 0.0
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True when the point ``(x, y)`` lies inside the box."""
+        return self.x <= x <= self.x2 and self.y <= y <= self.y2
+
+    def clipped_to(self, width: float, height: float) -> "BoundingBox":
+        """Return this box clipped to an image of size ``width`` x ``height``."""
+        x1 = max(0.0, self.x)
+        y1 = max(0.0, self.y)
+        x2 = min(float(width), self.x2)
+        y2 = min(float(height), self.y2)
+        if x2 <= x1 or y2 <= y1:
+            raise DatasetError("Box does not intersect the image it was clipped to")
+        return BoundingBox(x1, y1, x2 - x1, y2 - y1)
+
+    @staticmethod
+    def full_image(width: float, height: float) -> "BoundingBox":
+        """The box covering the whole image."""
+        return BoundingBox(0.0, 0.0, float(width), float(height))

@@ -1,0 +1,104 @@
+"""Synthetic images: a size, a background context, and object instances.
+
+The reproduction never renders pixels.  The embedding substrate only needs to
+know *what* is in a region (which objects, how much of the region they cover,
+and what the scene context is), which is exactly what these records capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.data.geometry import BoundingBox
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class ObjectInstance:
+    """One labelled object in an image."""
+
+    category: str
+    box: BoundingBox
+    instance_id: int = 0
+    distinctiveness: float = 1.0
+    """How visually salient the instance is relative to its background; the
+    synthetic embedding scales the object's contribution to a patch vector by
+    this value (occlusion, blur and tiny objects reduce it)."""
+
+    def __post_init__(self) -> None:
+        if not self.category:
+            raise DatasetError("ObjectInstance.category must be non-empty")
+        if not 0.0 < self.distinctiveness <= 1.0:
+            raise DatasetError(
+                f"distinctiveness must be in (0, 1], got {self.distinctiveness}"
+            )
+
+
+@dataclass(frozen=True)
+class SyntheticImage:
+    """A synthetic scene: image size, background context label, objects."""
+
+    image_id: int
+    width: int
+    height: int
+    context: str
+    objects: tuple[ObjectInstance, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise DatasetError(
+                f"Image {self.image_id} has non-positive size {self.width}x{self.height}"
+            )
+        for instance in self.objects:
+            box = instance.box
+            if box.x < 0 or box.y < 0 or box.x2 > self.width or box.y2 > self.height:
+                raise DatasetError(
+                    f"Object box {box} falls outside image {self.image_id} "
+                    f"({self.width}x{self.height})"
+                )
+
+    @property
+    def full_box(self) -> BoundingBox:
+        """Bounding box covering the entire image."""
+        return BoundingBox.full_image(self.width, self.height)
+
+    @property
+    def categories(self) -> frozenset[str]:
+        """The set of categories present in the image."""
+        return frozenset(instance.category for instance in self.objects)
+
+    def contains_category(self, category: str) -> bool:
+        """True when at least one object of ``category`` is present."""
+        return any(instance.category == category for instance in self.objects)
+
+    def instances_of(self, category: str) -> tuple[ObjectInstance, ...]:
+        """All instances of ``category`` in this image."""
+        return tuple(
+            instance for instance in self.objects if instance.category == category
+        )
+
+    def objects_in_region(
+        self, region: BoundingBox, min_overlap: float = 0.0
+    ) -> tuple[tuple[ObjectInstance, float], ...]:
+        """Objects intersecting ``region`` with the fraction of the object inside.
+
+        Returns ``(instance, visible_fraction)`` pairs where ``visible_fraction``
+        is the fraction of the object's own box that falls inside ``region``.
+        Pairs with a fraction at or below ``min_overlap`` are dropped.
+        """
+        hits: list[tuple[ObjectInstance, float]] = []
+        for instance in self.objects:
+            fraction = instance.box.overlap_fraction(region)
+            if fraction > min_overlap:
+                hits.append((instance, fraction))
+        return tuple(hits)
+
+    def ground_truth_boxes(self, category: str) -> tuple[BoundingBox, ...]:
+        """Boxes of every instance of ``category`` (the oracle feedback source)."""
+        return tuple(instance.box for instance in self.instances_of(category))
+
+
+def count_category_images(images: Iterable[SyntheticImage], category: str) -> int:
+    """Number of images containing at least one instance of ``category``."""
+    return sum(1 for image in images if image.contains_category(category))

@@ -1,0 +1,16 @@
+"""Visual-semantic embedding substrate.
+
+The paper uses CLIP.  This package provides :class:`SyntheticClip`, a
+deterministic generative stand-in exposing the same interface (text → vector,
+image region → vector, shared unit-norm space) and the same failure modes the
+paper's algorithms are designed around: a long tail of misaligned text
+queries, high concept locality of image vectors, and dilution of small
+objects in coarse full-image embeddings.
+"""
+
+from repro.embedding.base import EmbeddingModel
+from repro.embedding.calibration import PlattScaler
+from repro.embedding.concepts import ConceptSpace
+from repro.embedding.synthetic_clip import SyntheticClip
+
+__all__ = ["EmbeddingModel", "ConceptSpace", "SyntheticClip", "PlattScaler"]

@@ -1,0 +1,41 @@
+"""Abstract interface every embedding model must implement."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.data.geometry import BoundingBox
+from repro.data.image import SyntheticImage
+
+
+class EmbeddingModel(ABC):
+    """A visual-semantic embedding: text and image regions share one space.
+
+    All returned vectors are unit L2 norm so that inner product and cosine
+    similarity coincide, as assumed throughout the paper.
+    """
+
+    @property
+    @abstractmethod
+    def dim(self) -> int:
+        """Dimensionality of the embedding space."""
+
+    @abstractmethod
+    def embed_text(self, query: str) -> np.ndarray:
+        """Embed a free-text query string into the shared space."""
+
+    @abstractmethod
+    def embed_region(self, image: SyntheticImage, region: BoundingBox) -> np.ndarray:
+        """Embed one rectangular region of an image."""
+
+    def embed_image(self, image: SyntheticImage) -> np.ndarray:
+        """Embed the whole image (the paper's *coarse* embedding)."""
+        return self.embed_region(image, image.full_box)
+
+    def embed_images(self, images: "list[SyntheticImage]") -> np.ndarray:
+        """Embed a batch of whole images, one row per image."""
+        if not images:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack([self.embed_image(image) for image in images])

@@ -1,0 +1,102 @@
+"""Latent concept space shared by text and image embeddings.
+
+Each category name maps to a fixed unit *concept direction*; each scene
+context maps to a *context direction*.  The synthetic CLIP model builds image
+vectors near concept directions (high concept locality) and text vectors at a
+controlled angular offset from them (the alignment deficit), rotated toward a
+deterministic *confuser* direction so that a misaligned query genuinely ranks
+non-relevant content first, reproducing Figure 2a of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EmbeddingError
+from repro.utils.linalg import normalize_vector, rotate_towards
+from repro.utils.rng import derive_rng
+
+
+class ConceptSpace:
+    """Deterministic mapping from names to unit vectors in the shared space."""
+
+    def __init__(self, dim: int = 128, seed: int = 0) -> None:
+        if dim < 2:
+            raise EmbeddingError(f"Concept space dimension must be >= 2, got {dim}")
+        self.dim = int(dim)
+        self.seed = int(seed)
+        self._cache: dict[tuple[str, str], np.ndarray] = {}
+
+    def _vector_for(self, kind: str, name: str) -> np.ndarray:
+        """Deterministic unit vector for a (kind, name) pair, cached."""
+        key = (kind, name)
+        if key not in self._cache:
+            rng = derive_rng(self.seed, "concept-space", kind, name)
+            self._cache[key] = normalize_vector(rng.standard_normal(self.dim))
+        return self._cache[key]
+
+    def concept_vector(self, category: str) -> np.ndarray:
+        """The latent direction image content of ``category`` clusters around."""
+        return self._vector_for("category", category).copy()
+
+    def context_vector(self, context: str) -> np.ndarray:
+        """The direction contributed by background scene context."""
+        return self._vector_for("context", context).copy()
+
+    def confuser_vector(self, category: str) -> np.ndarray:
+        """The direction a misaligned text query for ``category`` drifts toward.
+
+        Blends a category-specific distractor direction with a generic "web
+        caption prior" direction so misaligned queries for different
+        categories do not all collapse onto one point.
+        """
+        distractor = self._vector_for("confuser", category)
+        prior = self._vector_for("prior", "caption-prior")
+        return normalize_vector(0.75 * distractor + 0.25 * prior)
+
+    def text_vector(
+        self,
+        category: str,
+        alignment_deficit: float,
+        confuser: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Text embedding for ``category`` with the given angular deficit.
+
+        A deficit of 0 returns the concept direction itself (a perfectly
+        aligned query); larger deficits rotate the vector toward ``confuser``
+        (by default a generic distractor direction), so the query scores
+        unrelated database content above the relevant content.
+        """
+        if alignment_deficit < 0:
+            raise EmbeddingError("alignment_deficit must be >= 0")
+        concept = self.concept_vector(category)
+        if alignment_deficit == 0:
+            return concept
+        if confuser is None:
+            confuser = self.confuser_vector(category)
+        return rotate_towards(concept, confuser, alignment_deficit)
+
+    def instance_noise(
+        self, image_id: int, instance_id: int, scale: float
+    ) -> np.ndarray:
+        """Deterministic per-instance appearance noise (concept locality spread).
+
+        The returned vector has L2 norm ``scale`` in a random direction, so
+        ``scale`` directly controls the angular spread of a category's cluster
+        regardless of the embedding dimension.
+        """
+        if scale <= 0:
+            return np.zeros(self.dim)
+        rng = derive_rng(self.seed, "instance-noise", str(image_id), str(instance_id))
+        return scale * normalize_vector(rng.standard_normal(self.dim))
+
+    def image_noise(self, image_id: int, scale: float) -> np.ndarray:
+        """Deterministic per-image background clutter (norm ``scale``)."""
+        if scale <= 0:
+            return np.zeros(self.dim)
+        rng = derive_rng(self.seed, "image-noise", str(image_id))
+        return scale * normalize_vector(rng.standard_normal(self.dim))
+
+    def freeform_text_vector(self, text: str) -> np.ndarray:
+        """Vector for an arbitrary string with no known category."""
+        return self._vector_for("freeform-text", text.strip().lower()).copy()

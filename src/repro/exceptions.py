@@ -1,0 +1,44 @@
+"""Exception hierarchy for the SeeSaw reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at the API boundary while still distinguishing specific
+failure modes when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, malformed, or out of range."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed or an entity (image, category) is unknown."""
+
+
+class EmbeddingError(ReproError):
+    """The embedding model was asked for something it cannot produce."""
+
+
+class VectorStoreError(ReproError):
+    """A vector store operation failed (empty store, dimension mismatch...)."""
+
+
+class IndexingError(ReproError):
+    """Building a multiscale index or kNN graph failed."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer failed to make progress or received a bad objective."""
+
+
+class SessionError(ReproError):
+    """An interactive search session was used incorrectly."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark experiment was configured or executed incorrectly."""

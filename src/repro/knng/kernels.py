@@ -1,0 +1,31 @@
+"""Similarity kernels for kNN-graph edge weights.
+
+The paper (§4.2) weights graph edges with a Gaussian kernel on the Euclidean
+distance between embedding vectors: ``w_ij = exp(-(x_i - x_j)^2 / (2 sigma^2))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def gaussian_similarity(
+    squared_distances: np.ndarray, sigma: float = 0.05
+) -> np.ndarray:
+    """Gaussian kernel on squared Euclidean distances."""
+    if sigma <= 0:
+        raise ConfigurationError(f"sigma must be > 0, got {sigma}")
+    squared_distances = np.asarray(squared_distances, dtype=np.float64)
+    return np.exp(-squared_distances / (2.0 * sigma * sigma))
+
+
+def squared_distance_from_inner(inner_products: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance between unit vectors from inner products.
+
+    For unit vectors ``|x - y|^2 = 2 - 2 x.y``; clipping guards against tiny
+    negative values introduced by floating-point error.
+    """
+    inner_products = np.asarray(inner_products, dtype=np.float64)
+    return np.clip(2.0 - 2.0 * inner_products, 0.0, None)

@@ -1,0 +1,159 @@
+"""NN-descent: approximate kNN-graph construction (Dong et al., WWW 2011).
+
+The paper builds its kNN graph with NN-descent because exact construction is
+quadratic in the database size.  This is a from-scratch implementation over
+cosine similarity (equivalently inner product of unit vectors): start from a
+random neighbour assignment and repeatedly propose neighbours-of-neighbours
+(in both edge directions), keeping the best ``k`` per node, until the graph
+stops improving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import IndexingError
+from repro.utils.linalg import normalize_rows
+from repro.utils.rng import ensure_rng
+
+
+def _top_k_merge(
+    current_ids: np.ndarray,
+    current_sims: np.ndarray,
+    candidate_ids: np.ndarray,
+    candidate_sims: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Merge candidate neighbours into the current top-k list for one node."""
+    merged_ids = np.concatenate([current_ids, candidate_ids])
+    merged_sims = np.concatenate([current_sims, candidate_sims])
+    # Deduplicate, keeping the best similarity per neighbour id.
+    order = np.argsort(-merged_sims)
+    merged_ids = merged_ids[order]
+    merged_sims = merged_sims[order]
+    _, first_positions = np.unique(merged_ids, return_index=True)
+    first_positions.sort()
+    merged_ids = merged_ids[first_positions]
+    merged_sims = merged_sims[first_positions]
+    order = np.argsort(-merged_sims)[:k]
+    new_ids = merged_ids[order]
+    new_sims = merged_sims[order]
+    changed = not (
+        new_ids.shape == current_ids.shape and np.array_equal(new_ids, current_ids)
+    )
+    return new_ids, new_sims, changed
+
+
+def nn_descent(
+    vectors: np.ndarray,
+    k: int,
+    iterations: int = 8,
+    sample_rate: float = 1.0,
+    seed: "int | np.random.Generator | None" = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build an approximate kNN graph.
+
+    Parameters
+    ----------
+    vectors:
+        ``(count, dim)`` array; rows are normalised internally.
+    k:
+        Number of neighbours per node (excluding the node itself).
+    iterations:
+        Maximum number of local-join rounds.
+    sample_rate:
+        Fraction of each node's neighbour list proposed per round (``rho`` in
+        the original paper); lower values trade accuracy for speed.
+    seed:
+        Seed for the random initial graph and sampling.
+
+    Returns
+    -------
+    (neighbor_ids, neighbor_similarities):
+        Two ``(count, k)`` arrays; similarities are inner products of the
+        normalised vectors, sorted descending per row.
+    """
+    vectors = normalize_rows(np.asarray(vectors, dtype=np.float64))
+    count = vectors.shape[0]
+    if count < 2:
+        raise IndexingError("nn_descent requires at least two vectors")
+    k = min(k, count - 1)
+    if k < 1:
+        raise IndexingError("k must be >= 1")
+    if not 0 < sample_rate <= 1:
+        raise IndexingError("sample_rate must be in (0, 1]")
+    rng = ensure_rng(seed)
+
+    neighbor_ids = np.empty((count, k), dtype=np.int64)
+    neighbor_sims = np.empty((count, k), dtype=np.float64)
+    for node in range(count):
+        choices = rng.choice(count - 1, size=k, replace=False)
+        choices = np.where(choices >= node, choices + 1, choices)
+        sims = vectors[choices] @ vectors[node]
+        order = np.argsort(-sims)
+        neighbor_ids[node] = choices[order]
+        neighbor_sims[node] = sims[order]
+
+    for _ in range(iterations):
+        # Reverse adjacency: who currently lists each node as a neighbour.
+        reverse: list[list[int]] = [[] for _ in range(count)]
+        for node in range(count):
+            for neighbor in neighbor_ids[node]:
+                reverse[int(neighbor)].append(node)
+        updates = 0
+        for node in range(count):
+            forward = neighbor_ids[node]
+            if sample_rate < 1.0:
+                sample_size = max(1, int(round(sample_rate * forward.size)))
+                forward = rng.choice(forward, size=sample_size, replace=False)
+            candidate_pool: set[int] = set()
+            for neighbor in forward:
+                neighbor = int(neighbor)
+                candidate_pool.update(int(x) for x in neighbor_ids[neighbor])
+                candidate_pool.update(reverse[neighbor])
+            candidate_pool.update(reverse[node])
+            candidate_pool.discard(node)
+            candidate_pool.difference_update(int(x) for x in neighbor_ids[node])
+            if not candidate_pool:
+                continue
+            candidates = np.fromiter(candidate_pool, dtype=np.int64, count=len(candidate_pool))
+            sims = vectors[candidates] @ vectors[node]
+            new_ids, new_sims, changed = _top_k_merge(
+                neighbor_ids[node], neighbor_sims[node], candidates, sims, k
+            )
+            if changed:
+                neighbor_ids[node] = new_ids
+                neighbor_sims[node] = new_sims
+                updates += 1
+        if updates == 0:
+            break
+    return neighbor_ids, neighbor_sims
+
+
+def exact_knn(
+    vectors: np.ndarray, k: int, chunk_size: int = 1024
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact kNN graph via a chunked brute-force scan.
+
+    Memory-bounded: similarity is computed for ``chunk_size`` rows at a time,
+    so databases with tens of thousands of vectors never materialise the full
+    pairwise matrix.
+    """
+    vectors = normalize_rows(np.asarray(vectors, dtype=np.float64))
+    count = vectors.shape[0]
+    if count < 2:
+        raise IndexingError("exact_knn requires at least two vectors")
+    k = min(k, count - 1)
+    neighbor_ids = np.empty((count, k), dtype=np.int64)
+    neighbor_sims = np.empty((count, k), dtype=np.float64)
+    for start in range(0, count, chunk_size):
+        stop = min(count, start + chunk_size)
+        sims = vectors[start:stop] @ vectors.T
+        rows = np.arange(start, stop)
+        sims[np.arange(stop - start), rows] = -np.inf  # exclude self-edges
+        top = np.argpartition(-sims, k - 1, axis=1)[:, :k]
+        top_sims = np.take_along_axis(sims, top, axis=1)
+        order = np.argsort(-top_sims, axis=1)
+        neighbor_ids[start:stop] = np.take_along_axis(top, order, axis=1)
+        neighbor_sims[start:stop] = np.take_along_axis(top_sims, order, axis=1)
+    return neighbor_ids, neighbor_sims

@@ -1,0 +1,29 @@
+"""Evaluation metrics: the paper's Average Precision and its aggregates."""
+
+from repro.metrics.aggregates import (
+    ApDistribution,
+    cumulative_distribution,
+    delta_ap,
+    hard_subset,
+    mean_average_precision,
+    quantile_interval,
+)
+from repro.metrics.average_precision import (
+    average_precision_at_cutoff,
+    average_precision_full,
+    precision_at_k,
+    session_average_precision,
+)
+
+__all__ = [
+    "average_precision_at_cutoff",
+    "average_precision_full",
+    "precision_at_k",
+    "session_average_precision",
+    "mean_average_precision",
+    "delta_ap",
+    "hard_subset",
+    "cumulative_distribution",
+    "quantile_interval",
+    "ApDistribution",
+]

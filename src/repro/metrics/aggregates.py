@@ -1,0 +1,107 @@
+"""Aggregations over per-query AP values: mAP, ΔAP, CDFs, the hard subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import BenchmarkError
+
+HARD_SUBSET_THRESHOLD = 0.5
+"""Queries whose zero-shot AP falls below this value form the "hard subset"
+the paper reports separately (Figure 1, Table 2, Table 3)."""
+
+
+def mean_average_precision(values: Sequence[float]) -> float:
+    """Mean AP over queries (NaNs, from unevaluable queries, are dropped)."""
+    array = np.asarray(list(values), dtype=np.float64)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
+        return float("nan")
+    return float(array.mean())
+
+
+def delta_ap(
+    method_ap: Mapping[str, float], baseline_ap: Mapping[str, float]
+) -> "dict[str, float]":
+    """Per-query AP change of a method relative to a baseline (ΔAP, Figure 5)."""
+    missing = set(method_ap) - set(baseline_ap)
+    if missing:
+        raise BenchmarkError(f"baseline is missing queries: {sorted(missing)[:5]}")
+    return {
+        query: float(method_ap[query] - baseline_ap[query]) for query in method_ap
+    }
+
+
+def hard_subset(
+    baseline_ap: Mapping[str, float], threshold: float = HARD_SUBSET_THRESHOLD
+) -> "list[str]":
+    """Queries whose baseline (zero-shot) AP is below ``threshold``."""
+    return sorted(query for query, value in baseline_ap.items() if value < threshold)
+
+
+def cumulative_distribution(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a set of values: returns (sorted values, fractions)."""
+    array = np.asarray(list(values), dtype=np.float64)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
+        return np.zeros(0), np.zeros(0)
+    ordered = np.sort(array)
+    fractions = np.arange(1, ordered.size + 1, dtype=np.float64) / ordered.size
+    return ordered, fractions
+
+
+def quantile_interval(
+    values: Sequence[float], low: float = 0.1, high: float = 0.9
+) -> tuple[float, float]:
+    """The [low, high] quantile interval (the grey band in Figure 5)."""
+    array = np.asarray(list(values), dtype=np.float64)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
+        return (float("nan"), float("nan"))
+    return (float(np.quantile(array, low)), float(np.quantile(array, high)))
+
+
+@dataclass
+class ApDistribution:
+    """Summary of a per-query AP distribution for one dataset and method."""
+
+    dataset: str
+    method: str
+    per_query: "dict[str, float]"
+
+    @property
+    def mean(self) -> float:
+        """Mean AP over all queries."""
+        return mean_average_precision(list(self.per_query.values()))
+
+    @property
+    def median(self) -> float:
+        """Median AP over all queries."""
+        values = np.asarray(list(self.per_query.values()), dtype=np.float64)
+        values = values[np.isfinite(values)]
+        return float(np.median(values)) if values.size else float("nan")
+
+    def fraction_below(self, threshold: float = HARD_SUBSET_THRESHOLD) -> float:
+        """Fraction of queries with AP below ``threshold`` (Figure 1 annotation)."""
+        values = np.asarray(list(self.per_query.values()), dtype=np.float64)
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            return float("nan")
+        return float(np.mean(values < threshold))
+
+    def count_below(self, threshold: float = HARD_SUBSET_THRESHOLD) -> int:
+        """Number of queries with AP below ``threshold``."""
+        values = np.asarray(list(self.per_query.values()), dtype=np.float64)
+        return int(np.sum(values[np.isfinite(values)] < threshold))
+
+    def restricted_to(self, queries: Sequence[str]) -> "ApDistribution":
+        """The same distribution restricted to a subset of queries."""
+        wanted = set(queries)
+        return ApDistribution(
+            dataset=self.dataset,
+            method=self.method,
+            per_query={q: v for q, v in self.per_query.items() if q in wanted},
+        )

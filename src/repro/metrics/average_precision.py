@@ -1,0 +1,103 @@
+"""Average Precision as the paper defines it (§5.1).
+
+The benchmark task is to find 10 relevant images within 60 inspected images.
+AP is the mean of the precision values measured at each relevant result, with
+``R = min(10, number of relevant images in the dataset)`` terms; relevant
+results that were never reached contribute a precision of 0.  AP is 1 when
+the first ten shown images are all relevant and 0 when none are found within
+the 60-image budget.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import BenchmarkError
+
+
+def precision_at_k(relevance: Sequence[bool], k: int) -> float:
+    """Precision over the first ``k`` results."""
+    if k < 1:
+        raise BenchmarkError("k must be >= 1")
+    head = list(relevance)[:k]
+    if not head:
+        return 0.0
+    return sum(1.0 for flag in head if flag) / float(k)
+
+
+def average_precision_at_cutoff(
+    relevance: Sequence[bool],
+    total_relevant: int,
+    target_results: int = 10,
+    max_images: int = 60,
+) -> float:
+    """Paper-style AP for one ordered sequence of shown results.
+
+    Parameters
+    ----------
+    relevance:
+        Relevance judgements of the shown images, in display order.
+    total_relevant:
+        Number of relevant images present in the whole dataset (``R`` is the
+        minimum of this and ``target_results``).
+    target_results:
+        The task's target number of results (10 in the paper).
+    max_images:
+        The inspection budget (60 in the paper); results past it are ignored.
+    """
+    if total_relevant < 0:
+        raise BenchmarkError("total_relevant must be >= 0")
+    if target_results < 1 or max_images < 1:
+        raise BenchmarkError("target_results and max_images must be >= 1")
+    expected = min(total_relevant, target_results)
+    if expected == 0:
+        return 0.0
+    precisions: list[float] = []
+    found = 0
+    for position, flag in enumerate(list(relevance)[:max_images], start=1):
+        if flag:
+            found += 1
+            precisions.append(found / position)
+            if found >= target_results:
+                break
+    while len(precisions) < expected:
+        precisions.append(0.0)
+    return float(np.mean(precisions[:expected]))
+
+
+def average_precision_full(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Classic (uncut) Average Precision of a scored ranking.
+
+    Used for the ideal-vs-initial query analysis (Figure 4), where the paper
+    ranks the entire dataset rather than running the interactive task.
+    """
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    if scores.shape != labels.shape:
+        raise BenchmarkError("scores and labels must have the same length")
+    relevant_total = float(labels.sum())
+    if relevant_total == 0:
+        return 0.0
+    order = np.argsort(-scores)
+    ordered = labels[order]
+    cumulative_hits = np.cumsum(ordered)
+    ranks = np.arange(1, ordered.size + 1)
+    precisions = cumulative_hits / ranks
+    return float(np.sum(precisions * ordered) / relevant_total)
+
+
+def session_average_precision(
+    relevance: Iterable[bool],
+    total_relevant: int,
+    target_results: int = 10,
+    max_images: int = 60,
+) -> float:
+    """Convenience wrapper matching :meth:`SearchSession.relevance_sequence`."""
+    return average_precision_at_cutoff(
+        list(relevance),
+        total_relevant=total_relevant,
+        target_results=target_results,
+        max_images=max_images,
+    )

@@ -1,0 +1,6 @@
+"""Numerical optimisation: a from-scratch L-BFGS used to minimise the SeeSaw loss."""
+
+from repro.optim.lbfgs import LbfgsResult, lbfgs_minimize
+from repro.optim.objective import Objective, numerical_gradient
+
+__all__ = ["LbfgsResult", "lbfgs_minimize", "Objective", "numerical_gradient"]

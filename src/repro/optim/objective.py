@@ -1,0 +1,35 @@
+"""Objective-function protocol and gradient-checking helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+ValueAndGradient = Callable[[np.ndarray], tuple[float, np.ndarray]]
+
+
+class Objective(Protocol):
+    """A differentiable objective: maps a parameter vector to (value, gradient)."""
+
+    def __call__(self, parameters: np.ndarray) -> tuple[float, np.ndarray]:
+        """Return the objective value and its gradient at ``parameters``."""
+        ...
+
+
+def numerical_gradient(
+    objective: ValueAndGradient, parameters: np.ndarray, step: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient estimate, used in tests to verify analytic
+    gradients of the SeeSaw loss terms."""
+    parameters = np.asarray(parameters, dtype=np.float64)
+    gradient = np.zeros_like(parameters)
+    for index in range(parameters.size):
+        forward = parameters.copy()
+        backward = parameters.copy()
+        forward[index] += step
+        backward[index] -= step
+        value_forward, _ = objective(forward)
+        value_backward, _ = objective(backward)
+        gradient[index] = (value_forward - value_backward) / (2.0 * step)
+    return gradient

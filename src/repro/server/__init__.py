@@ -1,0 +1,21 @@
+"""Server layer: the query-aligner service mediating UI and index (§2)."""
+
+from repro.server.api import (
+    BoxPayload,
+    FeedbackRequest,
+    NextResultsResponse,
+    ResultItem,
+    SessionInfo,
+    StartSessionRequest,
+)
+from repro.server.service import SeeSawService
+
+__all__ = [
+    "SeeSawService",
+    "StartSessionRequest",
+    "BoxPayload",
+    "FeedbackRequest",
+    "NextResultsResponse",
+    "ResultItem",
+    "SessionInfo",
+]

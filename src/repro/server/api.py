@@ -1,0 +1,94 @@
+"""Request/response dataclasses of the SeeSaw service.
+
+The paper's deployment has a browser UI talking to a server layer (the "query
+aligner", Figure 3).  This reproduction keeps that layer in-process, but the
+message shapes are preserved so a thin HTTP wrapper could be added without
+touching the core library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.data.geometry import BoundingBox
+
+
+@dataclass(frozen=True)
+class StartSessionRequest:
+    """Start a new search session on a registered dataset."""
+
+    dataset: str
+    text_query: str
+    batch_size: int = 3
+    multiscale: bool = True
+
+
+@dataclass(frozen=True)
+class ResultItem:
+    """One image returned to the UI, with the patch that matched."""
+
+    image_id: int
+    score: float
+    box_x: float
+    box_y: float
+    box_width: float
+    box_height: float
+
+    @staticmethod
+    def from_box(image_id: int, score: float, box: BoundingBox) -> "ResultItem":
+        """Build an item from an internal bounding box."""
+        return ResultItem(
+            image_id=image_id,
+            score=score,
+            box_x=box.x,
+            box_y=box.y,
+            box_width=box.width,
+            box_height=box.height,
+        )
+
+
+@dataclass(frozen=True)
+class NextResultsResponse:
+    """A batch of results for the UI to render."""
+
+    session_id: str
+    items: Sequence[ResultItem]
+    total_shown: int
+    positives_found: int
+
+
+@dataclass(frozen=True)
+class BoxPayload:
+    """One user-drawn box, in image pixel coordinates."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def to_bounding_box(self) -> BoundingBox:
+        """Convert to the internal geometry type."""
+        return BoundingBox(self.x, self.y, self.width, self.height)
+
+
+@dataclass(frozen=True)
+class FeedbackRequest:
+    """Feedback for one image of the current batch."""
+
+    session_id: str
+    image_id: int
+    relevant: bool
+    boxes: Sequence[BoxPayload] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class SessionInfo:
+    """Summary of a session's progress."""
+
+    session_id: str
+    dataset: str
+    text_query: str
+    total_shown: int
+    positives_found: int
+    rounds: int

@@ -1,0 +1,128 @@
+"""SeeSawService: dataset registry and session lifecycle.
+
+This is the in-process equivalent of the paper's server layer: it owns the
+preprocessed indexes for any number of datasets and exposes a small API the
+UI (or an example script, or a test) drives: start a session, fetch the next
+batch, submit feedback.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.config import MultiscaleConfig, SeeSawConfig
+from repro.core.indexing import SeeSawIndex
+from repro.core.seesaw_method import SeeSawSearchMethod
+from repro.core.session import SearchSession
+from repro.data.dataset import ImageDataset
+from repro.embedding.base import EmbeddingModel
+from repro.exceptions import SessionError
+from repro.server.api import (
+    FeedbackRequest,
+    NextResultsResponse,
+    ResultItem,
+    SessionInfo,
+    StartSessionRequest,
+)
+
+
+class SeeSawService:
+    """Owns dataset indexes and live search sessions."""
+
+    def __init__(self, config: "SeeSawConfig | None" = None) -> None:
+        self.config = config or SeeSawConfig()
+        self._indexes: dict[tuple[str, bool], SeeSawIndex] = {}
+        self._datasets: dict[str, tuple[ImageDataset, EmbeddingModel]] = {}
+        self._sessions: dict[str, SearchSession] = {}
+        self._session_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # dataset registry
+    # ------------------------------------------------------------------
+    def register_dataset(
+        self,
+        dataset: ImageDataset,
+        embedding: EmbeddingModel,
+        preprocess: bool = True,
+    ) -> None:
+        """Register a dataset; optionally build its multiscale index eagerly."""
+        self._datasets[dataset.name] = (dataset, embedding)
+        if preprocess:
+            self._index_for(dataset.name, multiscale=True)
+
+    @property
+    def dataset_names(self) -> "tuple[str, ...]":
+        """Names of the registered datasets."""
+        return tuple(self._datasets)
+
+    def _index_for(self, dataset_name: str, multiscale: bool) -> SeeSawIndex:
+        if dataset_name not in self._datasets:
+            raise SessionError(f"Dataset '{dataset_name}' is not registered")
+        key = (dataset_name, multiscale)
+        if key not in self._indexes:
+            dataset, embedding = self._datasets[dataset_name]
+            config = self.config.with_overrides(
+                multiscale=MultiscaleConfig(enabled=multiscale)
+            )
+            self._indexes[key] = SeeSawIndex.build(dataset, embedding, config)
+        return self._indexes[key]
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    def start_session(self, request: StartSessionRequest) -> SessionInfo:
+        """Start a new interactive search session."""
+        index = self._index_for(request.dataset, request.multiscale)
+        session = SearchSession(
+            index=index,
+            method=SeeSawSearchMethod(self.config),
+            text_query=request.text_query,
+            batch_size=request.batch_size,
+        )
+        session_id = f"session-{next(self._session_counter)}"
+        self._sessions[session_id] = session
+        return self.session_info(session_id)
+
+    def _session(self, session_id: str) -> SearchSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError as exc:
+            raise SessionError(f"Unknown session '{session_id}'") from exc
+
+    def next_results(self, session_id: str, count: "int | None" = None) -> NextResultsResponse:
+        """Fetch the next batch of results for a session."""
+        session = self._session(session_id)
+        results = session.next_batch(count)
+        items = [
+            ResultItem.from_box(result.image_id, result.score, result.box)
+            for result in results
+        ]
+        return NextResultsResponse(
+            session_id=session_id,
+            items=items,
+            total_shown=len(session.history),
+            positives_found=session.relevant_found,
+        )
+
+    def give_feedback(self, request: FeedbackRequest) -> SessionInfo:
+        """Submit feedback for one image of the session's current batch."""
+        session = self._session(request.session_id)
+        boxes = tuple(box.to_bounding_box() for box in request.boxes)
+        session.give_feedback(request.image_id, request.relevant, boxes)
+        return self.session_info(request.session_id)
+
+    def session_info(self, session_id: str) -> SessionInfo:
+        """Progress summary for one session."""
+        session = self._session(session_id)
+        return SessionInfo(
+            session_id=session_id,
+            dataset=session.index.dataset.name,
+            text_query=session.text_query,
+            total_shown=len(session.history),
+            positives_found=session.relevant_found,
+            rounds=session.stats.rounds,
+        )
+
+    def close_session(self, session_id: str) -> None:
+        """Forget a session."""
+        self._sessions.pop(session_id, None)

@@ -1,0 +1,12 @@
+"""Simulated users: annotation-time model and end-to-end study (Table 5, Figure 6)."""
+
+from repro.users.model import AnnotationTimeModel, UserTimingProfile
+from repro.users.study import StudyQuery, StudyResult, simulate_user_study
+
+__all__ = [
+    "AnnotationTimeModel",
+    "UserTimingProfile",
+    "StudyQuery",
+    "StudyResult",
+    "simulate_user_study",
+]

@@ -1,0 +1,80 @@
+"""Annotation-time model for the end-to-end tests (§5.5, Table 5).
+
+The paper measures how long users take per image: about 2 seconds to skip a
+non-relevant image, about 3 seconds to mark a relevant one in the baseline UI
+(a keypress), and about 1.5 extra seconds to draw the region box SeeSaw asks
+for.  The simulated user draws per-image times from these distributions, which
+is what turns per-query rankings into the wall-clock results of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class UserTimingProfile:
+    """Mean per-image annotation times (seconds) for one system variant."""
+
+    skip_mean: float
+    mark_mean: float
+    skip_std: float = 0.5
+    mark_std: float = 0.9
+    minimum: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.skip_mean <= 0 or self.mark_mean <= 0:
+            raise ConfigurationError("annotation time means must be positive")
+        if self.minimum <= 0:
+            raise ConfigurationError("minimum annotation time must be positive")
+
+
+BASELINE_TIMING = UserTimingProfile(skip_mean=1.98, mark_mean=3.00)
+"""Baseline UI (keypress to mark relevant): Table 5, left column."""
+
+SEESAW_TIMING = UserTimingProfile(skip_mean=2.40, mark_mean=4.40)
+"""SeeSaw UI (box feedback on relevant images): Table 5, right column."""
+
+
+class AnnotationTimeModel:
+    """Draws per-image annotation times for a simulated user."""
+
+    def __init__(
+        self,
+        profile: UserTimingProfile,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        self.profile = profile
+        self._rng = ensure_rng(seed)
+
+    def time_for_image(self, relevant: bool) -> float:
+        """Seconds spent on one image, depending on whether it gets marked."""
+        profile = self.profile
+        if relevant:
+            mean, std = profile.mark_mean, profile.mark_std
+        else:
+            mean, std = profile.skip_mean, profile.skip_std
+        sample = self._rng.normal(mean, std)
+        return float(max(profile.minimum, sample))
+
+    def expected_time(self, relevant: bool) -> float:
+        """The mean time for one image (no sampling), used in reports."""
+        return self.profile.mark_mean if relevant else self.profile.skip_mean
+
+    def confidence_interval(
+        self, relevant: bool, samples: int = 1000, confidence: float = 0.95
+    ) -> tuple[float, float]:
+        """Bootstrapped mean confidence interval, mirroring Table 5's ± values."""
+        times = np.array([self.time_for_image(relevant) for _ in range(samples)])
+        mean = float(times.mean())
+        half_width = float(
+            1.96 * times.std(ddof=1) / np.sqrt(samples)
+            if confidence == 0.95
+            else times.std(ddof=1) / np.sqrt(samples)
+        )
+        return mean, half_width

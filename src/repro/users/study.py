@@ -1,0 +1,184 @@
+"""End-to-end user-study simulation (§5.5, Figure 6).
+
+For each study query, simulated users run the same search task on two
+systems: the baseline (zero-shot CLIP with a plain UI) and SeeSaw (with box
+feedback).  The user inspects images in the order the system proposes them,
+spending time per image according to the annotation-time model, and stops
+after finding ``target_results`` relevant images or when the time budget (6
+minutes in the paper) runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.baselines.zero_shot import ZeroShotClipMethod
+from repro.bench.simulate import OracleUser
+from repro.core.indexing import SeeSawIndex
+from repro.core.interfaces import SearchMethod
+from repro.core.seesaw_method import SeeSawSearchMethod
+from repro.core.session import SearchSession
+from repro.exceptions import BenchmarkError
+from repro.users.model import (
+    BASELINE_TIMING,
+    SEESAW_TIMING,
+    AnnotationTimeModel,
+    UserTimingProfile,
+)
+from repro.utils.rng import spawn_seeds
+
+
+@dataclass(frozen=True)
+class StudyQuery:
+    """One query of the user study, tagged easy or hard (Figure 6 grouping)."""
+
+    category: str
+    prompt: str
+    difficulty: str = "easy"
+
+    def __post_init__(self) -> None:
+        if self.difficulty not in ("easy", "hard"):
+            raise BenchmarkError("difficulty must be 'easy' or 'hard'")
+
+
+@dataclass
+class StudyRun:
+    """One simulated user completing one query on one system."""
+
+    system: str
+    query: StudyQuery
+    user_seed: int
+    elapsed_seconds: float
+    found: int
+    images_seen: int
+    completed: bool
+
+
+@dataclass
+class StudyResult:
+    """Aggregated results of the simulated study for one query and system."""
+
+    system: str
+    query: StudyQuery
+    median_seconds: float
+    mean_seconds: float
+    ci_low: float
+    ci_high: float
+    completion_rate: float
+    runs: "list[StudyRun]"
+
+
+def _simulate_one_user(
+    index: SeeSawIndex,
+    method: SearchMethod,
+    query: StudyQuery,
+    timing: UserTimingProfile,
+    user_seed: int,
+    target_results: int,
+    time_budget_seconds: float,
+    system: str,
+) -> StudyRun:
+    oracle = OracleUser(index.dataset, query.category)
+    clock = AnnotationTimeModel(timing, seed=user_seed)
+    session = SearchSession(index=index, method=method, text_query=query.prompt, batch_size=1)
+    # A user cannot find more examples than exist; on reduced-scale synthetic
+    # datasets rare categories may have fewer than the nominal target.
+    target_results = min(target_results, oracle.total_relevant)
+    elapsed = 0.0
+    found = 0
+    seen = 0
+    while elapsed < time_budget_seconds and found < target_results:
+        batch = session.next_batch(1)
+        if not batch:
+            break
+        result = batch[0]
+        judgement = oracle.judge(result.image_id)
+        elapsed += clock.time_for_image(judgement.relevant)
+        seen += 1
+        if judgement.relevant:
+            found += 1
+        session.give_feedback(result.image_id, judgement.relevant, judgement.boxes)
+        if elapsed >= time_budget_seconds:
+            elapsed = time_budget_seconds
+            break
+    return StudyRun(
+        system=system,
+        query=query,
+        user_seed=user_seed,
+        elapsed_seconds=min(elapsed, time_budget_seconds),
+        found=found,
+        images_seen=seen,
+        completed=found >= target_results,
+    )
+
+
+def _bootstrap_ci(values: np.ndarray, seed: int, repeats: int = 500) -> tuple[float, float]:
+    """Bootstrapped 95% confidence interval of the mean."""
+    rng = np.random.default_rng(seed)
+    means = [
+        float(np.mean(rng.choice(values, size=values.size, replace=True)))
+        for _ in range(repeats)
+    ]
+    return float(np.quantile(means, 0.025)), float(np.quantile(means, 0.975))
+
+
+def simulate_user_study(
+    index: SeeSawIndex,
+    queries: Sequence[StudyQuery],
+    users_per_system: int = 10,
+    target_results: int = 10,
+    time_budget_seconds: float = 360.0,
+    seed: int = 0,
+    seesaw_method_factory: "Callable[[], SearchMethod] | None" = None,
+) -> "list[StudyResult]":
+    """Run the simulated user study on one dataset index.
+
+    Returns one :class:`StudyResult` per (system, query) pair, with the
+    baseline system named ``"clip_only"`` and SeeSaw named ``"seesaw"``,
+    mirroring the two lines of Figure 6.
+    """
+    if users_per_system < 1:
+        raise BenchmarkError("users_per_system must be >= 1")
+    systems: list[tuple[str, Callable[[], SearchMethod], UserTimingProfile]] = [
+        ("clip_only", ZeroShotClipMethod, BASELINE_TIMING),
+        (
+            "seesaw",
+            seesaw_method_factory or (lambda: SeeSawSearchMethod(index.config)),
+            SEESAW_TIMING,
+        ),
+    ]
+    results: list[StudyResult] = []
+    for query in queries:
+        for system, factory, timing in systems:
+            user_seeds = spawn_seeds(f"{seed}-{system}-{query.category}".__hash__() & 0x7FFFFFFF, users_per_system)
+            runs = [
+                _simulate_one_user(
+                    index,
+                    factory(),
+                    query,
+                    timing,
+                    user_seed,
+                    target_results,
+                    time_budget_seconds,
+                    system,
+                )
+                for user_seed in user_seeds
+            ]
+            times = np.array([run.elapsed_seconds for run in runs])
+            ci_low, ci_high = _bootstrap_ci(times, seed=seed)
+            results.append(
+                StudyResult(
+                    system=system,
+                    query=query,
+                    median_seconds=float(np.median(times)),
+                    mean_seconds=float(np.mean(times)),
+                    ci_low=ci_low,
+                    ci_high=ci_high,
+                    completion_rate=float(np.mean([run.completed for run in runs])),
+                    runs=runs,
+                )
+            )
+    return results

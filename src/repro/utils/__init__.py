@@ -1,0 +1,33 @@
+"""Small shared utilities: random-number handling and vector math helpers."""
+
+from repro.utils.linalg import (
+    cosine_similarity,
+    normalize_rows,
+    normalize_vector,
+    pairwise_inner,
+    random_unit_vectors,
+)
+from repro.utils.rng import derive_rng, ensure_rng, spawn_seeds
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_probability,
+    check_shape,
+    check_unit_norm,
+)
+
+__all__ = [
+    "cosine_similarity",
+    "normalize_rows",
+    "normalize_vector",
+    "pairwise_inner",
+    "random_unit_vectors",
+    "derive_rng",
+    "ensure_rng",
+    "spawn_seeds",
+    "check_finite",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+    "check_unit_norm",
+]

@@ -1,0 +1,88 @@
+"""Vector-math helpers shared across the embedding, store, and core modules.
+
+The whole system operates on unit-norm vectors whose relevance is an inner
+product (equivalently a cosine similarity), exactly as in the paper, so these
+helpers centralise normalisation and similarity computations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+_EPSILON = 1e-12
+
+
+def normalize_vector(vector: np.ndarray) -> np.ndarray:
+    """Return ``vector`` scaled to unit L2 norm (zero vectors stay zero)."""
+    vector = np.asarray(vector, dtype=np.float64)
+    norm = float(np.linalg.norm(vector))
+    if norm < _EPSILON:
+        return np.zeros_like(vector)
+    return vector / norm
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Return ``matrix`` with each row scaled to unit L2 norm."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms = np.where(norms < _EPSILON, 1.0, norms)
+    return matrix / norms
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two vectors."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if denom < _EPSILON:
+        return 0.0
+    return float(np.dot(a, b) / denom)
+
+
+def pairwise_inner(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+    """Inner products between each query row and each database row."""
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    database = np.asarray(database, dtype=np.float64)
+    return queries @ database.T
+
+
+def random_unit_vectors(
+    count: int,
+    dim: int,
+    seed: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Draw ``count`` unit vectors uniformly from the ``dim``-sphere."""
+    rng = ensure_rng(seed)
+    raw = rng.standard_normal(size=(count, dim))
+    return normalize_rows(raw)
+
+
+def rotate_towards(
+    start: np.ndarray,
+    target: np.ndarray,
+    angle_radians: float,
+) -> np.ndarray:
+    """Rotate ``start`` towards ``target`` by ``angle_radians`` on the sphere.
+
+    Used by the synthetic embedding to place a text vector at a controlled
+    angular distance (the *alignment deficit*) from a concept direction.
+    """
+    start = normalize_vector(start)
+    target = normalize_vector(target)
+    # Component of target orthogonal to start defines the rotation plane.
+    orthogonal = target - np.dot(target, start) * start
+    orthogonal_norm = float(np.linalg.norm(orthogonal))
+    if orthogonal_norm < _EPSILON:
+        return start.copy()
+    orthogonal = orthogonal / orthogonal_norm
+    return normalize_vector(
+        np.cos(angle_radians) * start + np.sin(angle_radians) * orthogonal
+    )
+
+
+def angular_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Angle in radians between two vectors."""
+    cosine = np.clip(cosine_similarity(a, b), -1.0, 1.0)
+    return float(np.arccos(cosine))

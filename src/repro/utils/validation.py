@@ -1,0 +1,60 @@
+"""Argument-validation helpers that raise library exceptions with clear text."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def check_positive(name: str, value: float, allow_zero: bool = False) -> float:
+    """Ensure a numeric parameter is positive (or non-negative)."""
+    value = float(value)
+    if allow_zero:
+        if value < 0:
+            raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure a parameter lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence["int | None"]) -> np.ndarray:
+    """Ensure ``array`` matches ``shape`` where ``None`` entries are wildcards."""
+    array = np.asarray(array)
+    if array.ndim != len(shape):
+        raise ConfigurationError(
+            f"{name} must have {len(shape)} dimensions, got {array.ndim}"
+        )
+    for axis, expected in enumerate(shape):
+        if expected is not None and array.shape[axis] != expected:
+            raise ConfigurationError(
+                f"{name} has shape {array.shape}, expected axis {axis} == {expected}"
+            )
+    return array
+
+
+def check_finite(name: str, array: np.ndarray) -> np.ndarray:
+    """Ensure every entry of ``array`` is finite."""
+    array = np.asarray(array, dtype=np.float64)
+    if not np.all(np.isfinite(array)):
+        raise ConfigurationError(f"{name} contains NaN or infinite values")
+    return array
+
+
+def check_unit_norm(name: str, vector: np.ndarray, tolerance: float = 1e-6) -> np.ndarray:
+    """Ensure ``vector`` has unit L2 norm within ``tolerance``."""
+    vector = np.asarray(vector, dtype=np.float64)
+    norm = float(np.linalg.norm(vector))
+    if abs(norm - 1.0) > tolerance:
+        raise ConfigurationError(f"{name} must be unit norm, got |v| = {norm:.6f}")
+    return vector

@@ -1,0 +1,132 @@
+"""Vector-store interface and per-vector metadata records."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.geometry import BoundingBox
+from repro.exceptions import VectorStoreError
+from repro.utils.linalg import normalize_rows
+
+
+@dataclass(frozen=True)
+class VectorRecord:
+    """Metadata attached to one stored vector.
+
+    With the multiscale representation a single image contributes several
+    vectors; each record remembers which image and which patch the vector was
+    computed from so results can be grouped back into images and compared
+    against user box feedback.
+    """
+
+    vector_id: int
+    image_id: int
+    box: BoundingBox
+    scale_level: int = 0
+    """0 for the coarse full-image patch, 1 for the finer tiling."""
+
+    @property
+    def is_coarse(self) -> bool:
+        """True when this record is the whole-image (coarse) vector."""
+        return self.scale_level == 0
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One result of a store lookup."""
+
+    vector_id: int
+    score: float
+    record: VectorRecord
+
+
+class VectorStore(ABC):
+    """Maximum-inner-product lookup over a fixed set of unit vectors."""
+
+    def __init__(self, vectors: np.ndarray, records: "list[VectorRecord]") -> None:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise VectorStoreError("vectors must be a 2-d array (count x dim)")
+        if vectors.shape[0] == 0:
+            raise VectorStoreError("cannot build a vector store with no vectors")
+        if len(records) != vectors.shape[0]:
+            raise VectorStoreError(
+                f"record count {len(records)} does not match vector count {vectors.shape[0]}"
+            )
+        for position, record in enumerate(records):
+            if record.vector_id != position:
+                raise VectorStoreError(
+                    "records must be ordered so record.vector_id equals its row index"
+                )
+        self._vectors = normalize_rows(vectors)
+        self._records = list(records)
+
+    # ------------------------------------------------------------------
+    # shared accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the stored vectors."""
+        return self._vectors.shape[1]
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The full (count x dim) matrix of stored unit vectors (read-only view)."""
+        view = self._vectors.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def records(self) -> "tuple[VectorRecord, ...]":
+        """All metadata records in vector-id order."""
+        return tuple(self._records)
+
+    def record(self, vector_id: int) -> VectorRecord:
+        """Metadata for one stored vector."""
+        try:
+            return self._records[vector_id]
+        except IndexError as exc:
+            raise VectorStoreError(f"Unknown vector id {vector_id}") from exc
+
+    def vector(self, vector_id: int) -> np.ndarray:
+        """One stored vector by id."""
+        if not 0 <= vector_id < len(self):
+            raise VectorStoreError(f"Unknown vector id {vector_id}")
+        return self._vectors[vector_id].copy()
+
+    def _check_query(self, query: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64).ravel()
+        if query.shape[0] != self.dim:
+            raise VectorStoreError(
+                f"query dimension {query.shape[0]} does not match store dimension {self.dim}"
+            )
+        return query
+
+    def _hits_from_ids(self, ids: np.ndarray, scores: np.ndarray) -> "list[SearchHit]":
+        return [
+            SearchHit(vector_id=int(vid), score=float(score), record=self._records[int(vid)])
+            for vid, score in zip(ids, scores)
+        ]
+
+    # ------------------------------------------------------------------
+    # interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        exclude_vector_ids: "set[int] | None" = None,
+    ) -> "list[SearchHit]":
+        """Return up to ``k`` hits with the largest inner product with ``query``.
+
+        ``exclude_vector_ids`` removes already-inspected vectors from
+        consideration, which is how the interactive loop avoids re-showing
+        images the user has already labelled.
+        """

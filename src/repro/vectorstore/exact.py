@@ -1,0 +1,51 @@
+"""Exact maximum-inner-product store (full scan).
+
+The paper notes that an exact scan is the accuracy reference Annoy is
+compared against (§2.2); it is also the store used in most tests because its
+results are unambiguous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import VectorStoreError
+from repro.vectorstore.base import SearchHit, VectorStore
+
+
+class ExactVectorStore(VectorStore):
+    """Brute-force inner-product search over all stored vectors."""
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        exclude_vector_ids: "set[int] | None" = None,
+    ) -> "list[SearchHit]":
+        if k < 1:
+            raise VectorStoreError(f"k must be >= 1, got {k}")
+        query = self._check_query(query)
+        scores = self._vectors @ query
+        if exclude_vector_ids:
+            scores = scores.copy()
+            excluded = np.fromiter(
+                (vid for vid in exclude_vector_ids if 0 <= vid < len(self)),
+                dtype=np.int64,
+            )
+            if excluded.size:
+                scores[excluded] = -np.inf
+        k = min(k, len(self))
+        # argpartition gives the top-k in O(n); sort only those k by score.
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top])]
+        top = top[np.isfinite(scores[top])]
+        return self._hits_from_ids(top, scores[top])
+
+    def score_all(self, query: np.ndarray) -> np.ndarray:
+        """Inner product of ``query`` with every stored vector.
+
+        Exposed for baselines (ENS, label propagation) that intentionally pay
+        the linear-scan cost the paper contrasts SeeSaw against.
+        """
+        query = self._check_query(query)
+        return self._vectors @ query

@@ -1,0 +1,3 @@
+"""Package version, kept in one place so docs and metadata agree."""
+
+__version__ = "1.0.0"

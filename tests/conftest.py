@@ -1,0 +1,105 @@
+"""Shared fixtures: tiny datasets and indexes reused across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import DatasetBundle, ExperimentScale, build_bundle
+from repro.config import SeeSawConfig
+from repro.core.indexing import SeeSawIndex
+from repro.data.catalogs import load_dataset
+from repro.data.dataset import CategoryInfo, ImageDataset
+from repro.data.generators import CategorySpec, DatasetProfile, SceneGenerator
+from repro.data.geometry import BoundingBox
+from repro.data.image import ObjectInstance, SyntheticImage
+from repro.embedding.synthetic_clip import SyntheticClip
+
+
+@pytest.fixture(scope="session")
+def tiny_scale() -> ExperimentScale:
+    """The smallest experiment scale, used for integration tests."""
+    return ExperimentScale.tiny()
+
+
+@pytest.fixture(scope="session")
+def bdd_bundle(tiny_scale: ExperimentScale) -> DatasetBundle:
+    """A tiny BDD-like bundle (has both easy and hard named categories)."""
+    return build_bundle("bdd", tiny_scale)
+
+
+@pytest.fixture(scope="session")
+def objectnet_bundle(tiny_scale: ExperimentScale) -> DatasetBundle:
+    """A tiny ObjectNet-like bundle (single-object 224x224 images)."""
+    return build_bundle("objectnet", tiny_scale)
+
+
+@pytest.fixture(scope="session")
+def bdd_multiscale_index(bdd_bundle: DatasetBundle) -> SeeSawIndex:
+    """Multiscale index over the tiny BDD-like dataset."""
+    return bdd_bundle.multiscale_index
+
+
+@pytest.fixture(scope="session")
+def bdd_coarse_index(bdd_bundle: DatasetBundle) -> SeeSawIndex:
+    """Coarse (one vector per image) index over the tiny BDD-like dataset."""
+    return bdd_bundle.coarse_index
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> ImageDataset:
+    """A handcrafted four-category dataset small enough to reason about."""
+    profile = DatasetProfile(
+        name="tiny",
+        description="hand-sized dataset for unit tests",
+        image_count=60,
+        category_count=6,
+        image_sizes=((640, 480),),
+        contexts=("indoor", "outdoor"),
+        objects_per_image=(1, 3),
+        object_scale_range=(0.2, 0.6),
+        frequency_range=(0.05, 0.3),
+        rare_fraction=0.2,
+        easy_query_fraction=0.5,
+        hard_deficit_range=(0.9, 1.2),
+        min_positives=3,
+        named_categories=(
+            CategorySpec("cat_easy", frequency=0.3, alignment_deficit=0.05, object_scale=0.5),
+            CategorySpec("cat_hard", frequency=0.08, alignment_deficit=1.1, object_scale=0.4),
+        ),
+    )
+    return SceneGenerator(profile, seed=7).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_clip(tiny_dataset: ImageDataset) -> SyntheticClip:
+    """Embedding model matching the handcrafted dataset."""
+    return SyntheticClip.for_dataset(tiny_dataset, dim=64, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_index(tiny_dataset: ImageDataset, tiny_clip: SyntheticClip) -> SeeSawIndex:
+    """Multiscale index over the handcrafted dataset."""
+    config = SeeSawConfig(embedding_dim=64, seed=7)
+    return SeeSawIndex.build(tiny_dataset, tiny_clip, config)
+
+
+@pytest.fixture()
+def simple_image() -> SyntheticImage:
+    """One image with two objects, for geometry and feedback tests."""
+    return SyntheticImage(
+        image_id=1,
+        width=640,
+        height=480,
+        context="indoor",
+        objects=(
+            ObjectInstance("dog", BoundingBox(50, 60, 200, 150), instance_id=1),
+            ObjectInstance("chair", BoundingBox(400, 200, 150, 200), instance_id=2),
+        ),
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,134 @@
+"""Smoke tests for the experiment registry: every table/figure function runs."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    figure1_zero_shot_cdf,
+    figure4_ideal_vs_initial,
+    figure5_delta_ap,
+    figure6_user_study,
+    table2_ablation,
+    table3_baselines,
+    table4_ens_horizon,
+    table5_annotation_time,
+    table6_latency,
+    table7_hyperparameters,
+)
+from repro.bench.runner import BenchmarkSettings
+from repro.bench.suite import ExperimentScale
+from repro.config import BenchmarkTaskConfig
+from repro.users.study import StudyQuery
+
+
+@pytest.fixture(scope="module")
+def quick_settings():
+    """Shorter task cutoffs so experiment smoke tests stay fast."""
+    return BenchmarkSettings(task=BenchmarkTaskConfig(target_results=5, max_images=20))
+
+
+@pytest.fixture(scope="module")
+def small_bundles(bdd_bundle, objectnet_bundle):
+    return {"objectnet": objectnet_bundle, "bdd": bdd_bundle}
+
+
+class TestFigureExperiments:
+    def test_figure1(self, small_bundles, tiny_scale, quick_settings):
+        result = figure1_zero_shot_cdf(small_bundles, tiny_scale, quick_settings)
+        assert set(result.distributions) == set(small_bundles)
+        for dist in result.distributions.values():
+            assert 0.0 <= dist.mean <= 1.0
+        assert "Figure 1" in result.format_text()
+
+    def test_figure4_ideal_beats_initial(self, objectnet_bundle, tiny_scale):
+        result = figure4_ideal_vs_initial(objectnet_bundle, tiny_scale)
+        assert result.points
+        assert result.median_ideal >= result.median_initial
+        assert "Figure 4" in result.format_text()
+
+    def test_figure5(self, small_bundles, tiny_scale, quick_settings):
+        result = figure5_delta_ap(small_bundles, tiny_scale, quick_settings)
+        for dataset in small_bundles:
+            assert dataset in result.delta_all
+            assert result.improvement_fraction(dataset) >= 0.5
+        assert "Figure 5" in result.format_text()
+
+    def test_figure6(self, bdd_bundle):
+        result = figure6_user_study(
+            bdd_bundle,
+            queries=[
+                StudyQuery(category="car", prompt="a car", difficulty="easy"),
+                StudyQuery(category="wheelchair", prompt="a wheelchair", difficulty="hard"),
+            ],
+            users_per_system=2,
+            target_results=3,
+            time_budget_seconds=60,
+        )
+        systems = {r.system for r in result.results}
+        assert systems == {"clip_only", "seesaw"}
+        assert "Figure 6" in result.format_text()
+
+
+class TestTableExperiments:
+    def test_table2_rows_complete(self, small_bundles, tiny_scale, quick_settings):
+        result = table2_ablation(small_bundles, tiny_scale, quick_settings)
+        assert set(result.all_queries) == {
+            "zero-shot CLIP",
+            "+multiscale",
+            "+few-shot CLIP",
+            "+Query align",
+            "+DB align",
+        }
+        for per_dataset in result.all_queries.values():
+            for value in per_dataset.values():
+                assert 0.0 <= value <= 1.0
+        assert "Table 2" in result.format_text()
+
+    def test_table3_rows_complete(self, small_bundles, tiny_scale, quick_settings):
+        result = table3_baselines(small_bundles, tiny_scale, quick_settings)
+        assert set(result.all_queries) == {
+            "zero-shot CLIP",
+            "few-shot CLIP",
+            "ENS",
+            "Rocchio",
+            "this work",
+        }
+        assert "Table 3" in result.format_text()
+
+    def test_table4_horizons(self, objectnet_bundle, tiny_scale, quick_settings):
+        result = table4_ens_horizon(
+            {"objectnet": objectnet_bundle},
+            tiny_scale,
+            horizons=(1, 5),
+            settings=quick_settings,
+        )
+        assert set(result.raw) == {1, 5}
+        assert set(result.calibrated) == {1, 5}
+        assert "Table 4" in result.format_text()
+
+    def test_table5_matches_timing_model(self):
+        result = table5_annotation_time(samples=500, seed=0)
+        assert result.seesaw_mark[0] > result.baseline_mark[0]
+        assert result.baseline_skip[0] < result.baseline_mark[0]
+        assert "Table 5" in result.format_text()
+
+    def test_table6_latency_rows(self, small_bundles, tiny_scale, quick_settings):
+        result = table6_latency(small_bundles, tiny_scale, quick_settings, queries_per_index=1)
+        assert result.rows
+        vectors = [row["vectors"] for row in result.rows]
+        assert vectors == sorted(vectors)
+        for row in result.rows:
+            assert row["SeeSaw"] >= 0.0
+        assert "Table 6" in result.format_text()
+
+    def test_table7_grid(self, bdd_bundle, tiny_scale, quick_settings):
+        grid = ((1.0, 30.0, 1.0), (3.0, 30.0, 1.0))
+        result = table7_hyperparameters(
+            {"bdd": bdd_bundle}, tiny_scale, grid=grid, settings=quick_settings
+        )
+        assert set(result.results) == set(grid)
+        values = [result.results[s]["bdd"] for s in grid]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        # Robustness: varying lambda_c by 3x should not collapse accuracy.
+        assert abs(values[0] - values[1]) < 0.4
+        assert "Table 7" in result.format_text()

@@ -1,0 +1,192 @@
+"""Tests for the baseline search methods (zero-shot, few-shot, Rocchio, ENS, propagation)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EnsMethod,
+    FewShotClipMethod,
+    PropagationMethod,
+    RocchioMethod,
+    ZeroShotClipMethod,
+    fit_ideal_vector,
+)
+from repro.baselines.ens import raw_gamma_from_scores
+from repro.core.feedback import BoxFeedback, FeedbackMap
+from repro.core.interfaces import SearchContext
+from repro.exceptions import ConfigurationError, OptimizationError, SessionError
+from repro.metrics import average_precision_full
+from repro.utils.linalg import normalize_rows, normalize_vector
+
+
+def run_manual_round(method, index, category, rounds=6):
+    """Drive a method by hand for a few rounds, returning shown image ids."""
+    context = SearchContext(index)
+    method.begin(context, index.dataset.category(category).prompt)
+    feedback = FeedbackMap()
+    shown: list[int] = []
+    for _ in range(rounds):
+        results = method.next_images(1, set(shown))
+        if not results:
+            break
+        result = results[0]
+        shown.append(result.image_id)
+        image = index.dataset.image(result.image_id)
+        boxes = image.ground_truth_boxes(category)
+        if boxes:
+            feedback.update(BoxFeedback.positive(result.image_id, boxes))
+        else:
+            feedback.update(BoxFeedback.negative(result.image_id))
+        method.observe(feedback)
+    return shown
+
+
+class TestZeroShot:
+    def test_requires_begin(self, tiny_index):
+        with pytest.raises(SessionError):
+            ZeroShotClipMethod().next_images(1, set())
+
+    def test_query_vector_never_changes(self, tiny_index):
+        method = ZeroShotClipMethod()
+        context = SearchContext(tiny_index)
+        method.begin(context, "a cat_easy")
+        before = method.query_vector
+        feedback = FeedbackMap()
+        feedback.update(BoxFeedback.negative(tiny_index.dataset.images[0].image_id))
+        method.observe(feedback)
+        assert np.allclose(before, method.query_vector)
+
+    def test_never_repeats_images(self, tiny_index):
+        shown = run_manual_round(ZeroShotClipMethod(), tiny_index, "cat_easy")
+        assert len(shown) == len(set(shown))
+
+
+class TestFewShot:
+    def test_keeps_text_vector_until_both_classes_seen(self, tiny_index):
+        method = FewShotClipMethod()
+        context = SearchContext(tiny_index)
+        method.begin(context, "a cat_easy")
+        initial = method.query_vector
+        feedback = FeedbackMap()
+        feedback.update(BoxFeedback.negative(tiny_index.dataset.images[0].image_id))
+        method.observe(feedback)
+        assert np.allclose(initial, method.query_vector)
+
+    def test_updates_after_mixed_feedback(self, tiny_index):
+        shown = run_manual_round(FewShotClipMethod(), tiny_index, "cat_easy", rounds=8)
+        assert len(shown) >= 4
+
+    def test_config_disables_alignment_terms(self):
+        method = FewShotClipMethod()
+        assert method.config.use_clip_alignment is False
+        assert method.config.use_db_alignment is False
+
+
+class TestRocchio:
+    def test_invalid_weights(self):
+        with pytest.raises(ConfigurationError):
+            RocchioMethod(alpha=-1)
+
+    def test_query_moves_toward_positive_examples(self, tiny_index, rng):
+        method = RocchioMethod()
+        context = SearchContext(tiny_index)
+        method.begin(context, "a cat_easy")
+        category_positive = next(iter(tiny_index.dataset.positive_image_ids("cat_easy")))
+        image = tiny_index.dataset.image(category_positive)
+        feedback = FeedbackMap()
+        feedback.update(
+            BoxFeedback.positive(category_positive, image.ground_truth_boxes("cat_easy"))
+        )
+        before = method.query_vector
+        method.observe(feedback)
+        after = method.query_vector
+        positive_vector = tiny_index.store.vectors[
+            list(tiny_index.vector_ids_for_image(category_positive))[0]
+        ]
+        assert float(after @ positive_vector) > float(before @ positive_vector)
+
+    def test_runs_full_manual_session(self, tiny_index):
+        shown = run_manual_round(RocchioMethod(), tiny_index, "cat_hard", rounds=8)
+        assert len(shown) == len(set(shown))
+
+
+class TestEns:
+    def test_raw_gamma_range(self):
+        scores = np.array([-1.0, 0.0, 1.0])
+        gamma = raw_gamma_from_scores(scores)
+        assert gamma.min() >= 0.0 and gamma.max() <= 1.0
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ConfigurationError):
+            EnsMethod(horizon=0)
+
+    def test_requires_graph(self, tiny_dataset, tiny_clip):
+        from repro.config import SeeSawConfig
+        from repro.core.indexing import SeeSawIndex
+
+        index = SeeSawIndex.build(
+            tiny_dataset, tiny_clip, SeeSawConfig(embedding_dim=64), build_graph=False
+        )
+        method = EnsMethod()
+        with pytest.raises(SessionError):
+            method.begin(SearchContext(index), "a cat_easy")
+
+    def test_behaves_like_zero_shot_before_first_positive(self, tiny_index):
+        ens = EnsMethod(horizon=10)
+        zero = ZeroShotClipMethod()
+        context = SearchContext(tiny_index)
+        ens.begin(context, "a cat_easy")
+        zero.begin(context, "a cat_easy")
+        assert [r.image_id for r in ens.next_images(3, set())] == [
+            r.image_id for r in zero.next_images(3, set())
+        ]
+
+    def test_full_manual_session_no_repeats(self, tiny_index):
+        shown = run_manual_round(EnsMethod(horizon=8), tiny_index, "cat_easy", rounds=8)
+        assert len(shown) == len(set(shown))
+
+    def test_calibrator_is_used(self, tiny_index):
+        calls = []
+
+        def calibrator(scores):
+            calls.append(len(scores))
+            return np.full(scores.shape, 0.5)
+
+        method = EnsMethod(gamma_calibrator=calibrator)
+        method.begin(SearchContext(tiny_index), "a cat_easy")
+        assert calls and calls[0] == tiny_index.vector_count
+
+
+class TestPropagationMethod:
+    def test_full_manual_session(self, tiny_index):
+        shown = run_manual_round(PropagationMethod(), tiny_index, "cat_easy", rounds=6)
+        assert len(shown) == len(set(shown))
+
+    def test_scores_change_after_feedback(self, tiny_index):
+        method = PropagationMethod()
+        context = SearchContext(tiny_index)
+        method.begin(context, "a cat_easy")
+        positive_id = next(iter(tiny_index.dataset.positive_image_ids("cat_easy")))
+        image = tiny_index.dataset.image(positive_id)
+        feedback = FeedbackMap()
+        feedback.update(BoxFeedback.positive(positive_id, image.ground_truth_boxes("cat_easy")))
+        before = method._scores.copy()
+        method.observe(feedback)
+        assert not np.allclose(before, method._scores)
+
+
+class TestIdealVector:
+    def test_ideal_vector_separates_clusters(self, rng):
+        dim = 24
+        concept = normalize_vector(rng.standard_normal(dim))
+        positives = normalize_rows(concept + 0.1 * rng.standard_normal((30, dim)))
+        negatives = normalize_rows(rng.standard_normal((200, dim)))
+        vectors = np.vstack([positives, negatives])
+        labels = np.array([1.0] * 30 + [0.0] * 200)
+        ideal = fit_ideal_vector(vectors, labels)
+        assert average_precision_full(vectors @ ideal, labels) > 0.9
+
+    def test_requires_both_classes(self, rng):
+        vectors = normalize_rows(rng.standard_normal((10, 8)))
+        with pytest.raises(OptimizationError):
+            fit_ideal_vector(vectors, np.ones(10))

@@ -1,0 +1,211 @@
+"""Tests for the benchmark harness, reporting, user model, and service layer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ZeroShotClipMethod
+from repro.bench.reporting import format_cdf, format_mean_ap_matrix, format_table
+from repro.bench.runner import BenchmarkSettings, run_query_set, run_search_task
+from repro.bench.simulate import OracleUser
+from repro.bench.tasks import BenchmarkQuery, queries_for_dataset
+from repro.config import BenchmarkTaskConfig
+from repro.core.seesaw_method import SeeSawSearchMethod
+from repro.exceptions import BenchmarkError
+from repro.server import (
+    BoxPayload,
+    FeedbackRequest,
+    SeeSawService,
+    StartSessionRequest,
+)
+from repro.server.api import BoxPayload  # noqa: F811 - explicit import for clarity
+from repro.users.model import (
+    BASELINE_TIMING,
+    SEESAW_TIMING,
+    AnnotationTimeModel,
+    UserTimingProfile,
+)
+from repro.users.study import StudyQuery, simulate_user_study
+
+
+class TestTasks:
+    def test_queries_enumerate_categories(self, tiny_dataset):
+        queries = queries_for_dataset(tiny_dataset, min_positives=3)
+        names = {query.category for query in queries}
+        assert names <= set(tiny_dataset.category_names)
+        for query in queries:
+            assert query.positives >= 3
+            assert query.key.startswith("tiny/")
+
+    def test_max_queries_subsamples_deterministically(self, tiny_dataset):
+        first = queries_for_dataset(tiny_dataset, max_queries=3, seed=1)
+        second = queries_for_dataset(tiny_dataset, max_queries=3, seed=1)
+        assert [q.category for q in first] == [q.category for q in second]
+        assert len(first) <= max(3, 2)
+
+    def test_named_categories_kept_when_subsampling(self, bdd_bundle, tiny_scale):
+        queries = bdd_bundle.queries(tiny_scale)
+        names = {query.category for query in queries}
+        assert "wheelchair" in names or "car" in names
+
+    def test_invalid_min_positives(self, tiny_dataset):
+        with pytest.raises(BenchmarkError):
+            queries_for_dataset(tiny_dataset, min_positives=0)
+
+
+class TestOracle:
+    def test_judgement_matches_ground_truth(self, tiny_dataset):
+        oracle = OracleUser(tiny_dataset, "cat_easy")
+        positive_id = next(iter(tiny_dataset.positive_image_ids("cat_easy")))
+        negative_id = next(
+            image.image_id
+            for image in tiny_dataset
+            if not image.contains_category("cat_easy")
+        )
+        assert oracle.judge(positive_id).relevant
+        assert oracle.judge(positive_id).boxes
+        assert not oracle.judge(negative_id).relevant
+
+    def test_total_relevant(self, tiny_dataset):
+        oracle = OracleUser(tiny_dataset, "cat_easy")
+        assert oracle.total_relevant == tiny_dataset.positive_count("cat_easy")
+
+
+class TestRunner:
+    def test_outcome_fields(self, tiny_index):
+        query = BenchmarkQuery(
+            dataset="tiny",
+            category="cat_easy",
+            prompt="a cat_easy",
+            positives=tiny_index.dataset.positive_count("cat_easy"),
+        )
+        settings = BenchmarkSettings(task=BenchmarkTaskConfig(target_results=3, max_images=12))
+        outcome = run_search_task(tiny_index, SeeSawSearchMethod(tiny_index.config), query, settings)
+        assert 0.0 <= outcome.average_precision <= 1.0
+        assert outcome.shown <= 12
+        assert outcome.found <= 12
+        assert outcome.seconds_per_round >= 0.0
+
+    def test_dataset_mismatch_rejected(self, tiny_index):
+        query = BenchmarkQuery(dataset="other", category="cat_easy", prompt="a cat_easy", positives=5)
+        with pytest.raises(BenchmarkError):
+            run_search_task(tiny_index, ZeroShotClipMethod(), query)
+
+    def test_run_query_set_keys(self, tiny_index):
+        queries = queries_for_dataset(tiny_index.dataset, min_positives=3)[:2]
+        settings = BenchmarkSettings(task=BenchmarkTaskConfig(target_results=3, max_images=9))
+        outcomes = run_query_set(tiny_index, ZeroShotClipMethod, queries, settings)
+        assert set(outcomes) == {query.key for query in queries}
+
+    def test_easy_query_reaches_target(self, tiny_index):
+        query = BenchmarkQuery(
+            dataset="tiny",
+            category="cat_easy",
+            prompt="a cat_easy",
+            positives=tiny_index.dataset.positive_count("cat_easy"),
+        )
+        settings = BenchmarkSettings(task=BenchmarkTaskConfig(target_results=3, max_images=20))
+        outcome = run_search_task(tiny_index, ZeroShotClipMethod(), query, settings)
+        assert outcome.found >= 1
+
+
+class TestReporting:
+    def test_format_table_alignment_and_nan(self):
+        text = format_table(["a", "b"], [["x", 0.5], ["y", float("nan")]])
+        assert "NA" in text and "0.50" in text
+
+    def test_format_cdf(self):
+        text = format_cdf({"s": [0.1, 0.6]}, thresholds=(0.5,))
+        assert "P(x<=0.5)" in text and "0.50" in text
+
+    def test_format_mean_ap_matrix_average_column(self):
+        text = format_mean_ap_matrix({"m": {"d1": 0.4, "d2": 0.6}}, ["d1", "d2"])
+        assert "0.50" in text
+
+
+class TestUserModel:
+    def test_marking_takes_longer_than_skipping(self):
+        model = AnnotationTimeModel(SEESAW_TIMING, seed=0)
+        skips = np.mean([model.time_for_image(False) for _ in range(200)])
+        marks = np.mean([model.time_for_image(True) for _ in range(200)])
+        assert marks > skips
+
+    def test_seesaw_marking_slower_than_baseline(self):
+        baseline = AnnotationTimeModel(BASELINE_TIMING, seed=1)
+        seesaw = AnnotationTimeModel(SEESAW_TIMING, seed=1)
+        assert seesaw.expected_time(True) > baseline.expected_time(True)
+
+    def test_times_respect_minimum(self):
+        profile = UserTimingProfile(skip_mean=0.6, mark_mean=0.7, skip_std=5.0, mark_std=5.0)
+        model = AnnotationTimeModel(profile, seed=2)
+        assert min(model.time_for_image(False) for _ in range(100)) >= profile.minimum
+
+    def test_confidence_interval_contains_mean(self):
+        model = AnnotationTimeModel(BASELINE_TIMING, seed=3)
+        mean, half_width = model.confidence_interval(True, samples=500)
+        assert abs(mean - BASELINE_TIMING.mark_mean) < 3 * half_width + 0.2
+
+    def test_invalid_profile(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            UserTimingProfile(skip_mean=0.0, mark_mean=1.0)
+
+
+class TestUserStudy:
+    def test_study_produces_results_for_both_systems(self, tiny_index):
+        queries = [StudyQuery(category="cat_easy", prompt="a cat_easy", difficulty="easy")]
+        results = simulate_user_study(
+            tiny_index, queries, users_per_system=2, target_results=3, time_budget_seconds=60
+        )
+        systems = {result.system for result in results}
+        assert systems == {"clip_only", "seesaw"}
+        for result in results:
+            assert 0.0 <= result.median_seconds <= 60.0
+            assert 0.0 <= result.completion_rate <= 1.0
+
+    def test_invalid_difficulty(self):
+        with pytest.raises(BenchmarkError):
+            StudyQuery(category="x", prompt="x", difficulty="medium")
+
+
+class TestService:
+    def test_full_session_flow(self, tiny_dataset, tiny_clip):
+        from repro.config import SeeSawConfig
+
+        service = SeeSawService(SeeSawConfig(embedding_dim=64))
+        service.register_dataset(tiny_dataset, tiny_clip, preprocess=False)
+        assert "tiny" in service.dataset_names
+        info = service.start_session(
+            StartSessionRequest(dataset="tiny", text_query="a cat_easy", batch_size=2)
+        )
+        response = service.next_results(info.session_id)
+        assert len(response.items) == 2
+        for item in response.items:
+            relevant = tiny_dataset.is_relevant(item.image_id, "cat_easy")
+            boxes = [
+                BoxPayload(box.x, box.y, box.width, box.height)
+                for box in tiny_dataset.image(item.image_id).ground_truth_boxes("cat_easy")
+            ]
+            service.give_feedback(
+                FeedbackRequest(
+                    session_id=info.session_id,
+                    image_id=item.image_id,
+                    relevant=relevant,
+                    boxes=boxes,
+                )
+            )
+        updated = service.session_info(info.session_id)
+        assert updated.total_shown == 2
+        assert updated.rounds == 1
+        service.close_session(info.session_id)
+        from repro.exceptions import SessionError
+
+        with pytest.raises(SessionError):
+            service.session_info(info.session_id)
+
+    def test_unknown_dataset_rejected(self):
+        from repro.exceptions import SessionError
+
+        service = SeeSawService()
+        with pytest.raises(SessionError):
+            service.start_session(StartSessionRequest(dataset="missing", text_query="a dog"))

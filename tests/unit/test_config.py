@@ -1,0 +1,101 @@
+"""Tests for configuration dataclasses and their validation."""
+
+import pytest
+
+from repro.config import (
+    PAPER_DEFAULT_CONFIG,
+    BenchmarkTaskConfig,
+    KnnGraphConfig,
+    LossWeights,
+    MultiscaleConfig,
+    OptimizerConfig,
+    SeeSawConfig,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestLossWeights:
+    def test_defaults_are_positive(self):
+        weights = LossWeights()
+        assert weights.lambda_norm > 0
+        assert weights.lambda_clip > 0
+        assert weights.lambda_db > 0
+
+    def test_zero_weights_allowed(self):
+        weights = LossWeights(lambda_norm=0, lambda_clip=0, lambda_db=0)
+        assert weights.lambda_clip == 0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LossWeights(lambda_norm=-1)
+
+
+class TestKnnGraphConfig:
+    def test_defaults(self):
+        config = KnnGraphConfig()
+        assert config.k == 10
+        assert config.sigma == pytest.approx(0.05)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            KnnGraphConfig(k=0)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ConfigurationError):
+            KnnGraphConfig(sigma=0)
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ConfigurationError):
+            KnnGraphConfig(nn_descent_sample_rate=1.5)
+
+
+class TestMultiscaleConfig:
+    def test_defaults_match_paper(self):
+        config = MultiscaleConfig()
+        assert config.min_patch_pixels == 224
+        assert config.patch_fraction == pytest.approx(0.5)
+
+    def test_zero_patch_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiscaleConfig(patch_fraction=0.0)
+
+
+class TestOptimizerConfig:
+    def test_wolfe_constants_ordering(self):
+        with pytest.raises(ConfigurationError):
+            OptimizerConfig(wolfe_c1=0.9, wolfe_c2=0.1)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigurationError):
+            OptimizerConfig(max_iterations=0)
+
+
+class TestBenchmarkTaskConfig:
+    def test_paper_cutoffs(self):
+        config = BenchmarkTaskConfig()
+        assert config.target_results == 10
+        assert config.max_images == 60
+
+    def test_budget_must_cover_target(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkTaskConfig(target_results=10, max_images=5)
+
+
+class TestSeeSawConfig:
+    def test_with_overrides_returns_new_object(self):
+        config = SeeSawConfig()
+        changed = config.with_overrides(use_db_alignment=False)
+        assert changed.use_db_alignment is False
+        assert config.use_db_alignment is True
+
+    def test_describe_contains_key_knobs(self):
+        described = SeeSawConfig().describe()
+        assert "lambda_db" in described
+        assert "knn_k" in described
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ConfigurationError):
+            SeeSawConfig(embedding_dim=1)
+
+    def test_paper_default_config_exists(self):
+        assert PAPER_DEFAULT_CONFIG.task.target_results == 10

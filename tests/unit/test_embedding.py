@@ -1,0 +1,145 @@
+"""Tests for the synthetic CLIP embedding substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.geometry import BoundingBox
+from repro.embedding.calibration import PlattScaler, expected_calibration_error
+from repro.embedding.concepts import ConceptSpace
+from repro.embedding.synthetic_clip import SyntheticClip, _normalize_query_text
+from repro.exceptions import EmbeddingError
+from repro.utils.linalg import cosine_similarity
+
+
+class TestConceptSpace:
+    def test_concept_vectors_are_unit_and_stable(self):
+        space = ConceptSpace(dim=32, seed=0)
+        first = space.concept_vector("dog")
+        second = space.concept_vector("dog")
+        assert np.allclose(first, second)
+        assert np.linalg.norm(first) == pytest.approx(1.0)
+
+    def test_different_categories_differ(self):
+        space = ConceptSpace(dim=64, seed=0)
+        assert abs(cosine_similarity(space.concept_vector("dog"), space.concept_vector("cat"))) < 0.5
+
+    def test_text_vector_deficit_controls_angle(self):
+        space = ConceptSpace(dim=64, seed=0)
+        concept = space.concept_vector("dog")
+        aligned = space.text_vector("dog", 0.0)
+        misaligned = space.text_vector("dog", 1.0)
+        assert np.allclose(aligned, concept)
+        assert cosine_similarity(misaligned, concept) == pytest.approx(np.cos(1.0), abs=1e-6)
+
+    def test_negative_deficit_rejected(self):
+        with pytest.raises(EmbeddingError):
+            ConceptSpace(dim=8).text_vector("dog", -0.1)
+
+    def test_noise_has_requested_norm(self):
+        space = ConceptSpace(dim=32, seed=0)
+        noise = space.instance_noise(1, 2, 0.3)
+        assert np.linalg.norm(noise) == pytest.approx(0.3)
+        assert np.allclose(space.instance_noise(1, 2, 0.0), 0.0)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(EmbeddingError):
+            ConceptSpace(dim=1)
+
+
+class TestQueryNormalisation:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("a wheelchair", "wheelchair"),
+            ("A Dog", "dog"),
+            ("a photo of a dog", "dog"),
+            ("car with open door", "car_with_open_door"),
+        ],
+    )
+    def test_prompts_map_to_category_names(self, raw, expected):
+        assert _normalize_query_text(raw) == expected
+
+
+class TestSyntheticClip:
+    def test_embeddings_are_unit_norm(self, tiny_dataset, tiny_clip):
+        image = tiny_dataset.images[0]
+        assert np.linalg.norm(tiny_clip.embed_image(image)) == pytest.approx(1.0)
+        assert np.linalg.norm(tiny_clip.embed_text("a cat_easy")) == pytest.approx(1.0)
+
+    def test_known_category_uses_deficit(self, tiny_dataset, tiny_clip):
+        easy = tiny_clip.embed_text("a cat_easy")
+        easy_concept = tiny_clip.concept_vector("cat_easy")
+        hard = tiny_clip.embed_text("a cat_hard")
+        hard_concept = tiny_clip.concept_vector("cat_hard")
+        assert cosine_similarity(easy, easy_concept) > cosine_similarity(hard, hard_concept)
+
+    def test_unknown_text_still_embeds(self, tiny_clip):
+        vector = tiny_clip.embed_text("a completely unknown thing")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_embed_text_is_deterministic(self, tiny_clip):
+        assert np.allclose(tiny_clip.embed_text("a cat_easy"), tiny_clip.embed_text("a cat_easy"))
+
+    def test_region_with_object_aligns_with_concept(self, tiny_dataset, tiny_clip):
+        category = "cat_easy"
+        image_id = next(iter(tiny_dataset.positive_image_ids(category)))
+        image = tiny_dataset.image(image_id)
+        instance = image.instances_of(category)[0]
+        region_vector = tiny_clip.embed_region(image, instance.box)
+        concept = tiny_clip.concept_vector(category)
+        background_only = [img for img in tiny_dataset if not img.contains_category(category)][0]
+        other_vector = tiny_clip.embed_image(background_only)
+        assert cosine_similarity(region_vector, concept) > cosine_similarity(other_vector, concept)
+
+    def test_small_object_is_diluted_in_coarse_embedding(self, tiny_clip):
+        from repro.data.image import ObjectInstance, SyntheticImage
+
+        small_object = ObjectInstance("cat_easy", BoundingBox(10, 10, 40, 40), instance_id=1)
+        image = SyntheticImage(
+            image_id=999, width=640, height=480, context="indoor", objects=(small_object,)
+        )
+        concept = tiny_clip.concept_vector("cat_easy")
+        coarse = tiny_clip.embed_image(image)
+        tight = tiny_clip.embed_region(image, BoundingBox(0, 0, 80, 80))
+        assert cosine_similarity(tight, concept) > cosine_similarity(coarse, concept)
+
+    def test_embed_images_batch(self, tiny_dataset, tiny_clip):
+        batch = tiny_clip.embed_images(list(tiny_dataset.images[:5]))
+        assert batch.shape == (5, tiny_clip.dim)
+
+    def test_unknown_category_concept_raises(self, tiny_clip):
+        with pytest.raises(EmbeddingError):
+            tiny_clip.concept_vector("nope")
+
+    def test_requires_categories(self):
+        with pytest.raises(EmbeddingError):
+            SyntheticClip(categories=[])
+
+
+class TestPlattScaler:
+    def test_calibration_improves_ece(self, rng):
+        # Raw scores: informative but badly scaled (like CLIP cosine scores).
+        labels = rng.random(400) < 0.3
+        scores = 0.1 * labels + 0.05 * rng.standard_normal(400)
+        raw_probabilities = np.clip((scores + 1) / 2, 0, 1)
+        calibrated = PlattScaler().fit_transform(scores, labels.astype(float))
+        raw_ece = expected_calibration_error(raw_probabilities, labels.astype(float))
+        calibrated_ece = expected_calibration_error(calibrated, labels.astype(float))
+        assert calibrated_ece < raw_ece
+
+    def test_transform_monotonic_in_scores(self):
+        scaler = PlattScaler().fit(np.array([-1.0, 0.0, 1.0]), np.array([0.0, 0.0, 1.0]))
+        probabilities = scaler.transform(np.array([-1.0, 0.0, 1.0]))
+        assert probabilities[0] < probabilities[1] < probabilities[2]
+
+    def test_empty_fit_rejected(self):
+        from repro.exceptions import OptimizationError
+
+        with pytest.raises(OptimizationError):
+            PlattScaler().fit(np.array([]), np.array([]))
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.exceptions import OptimizationError
+
+        with pytest.raises(OptimizationError):
+            PlattScaler().fit(np.array([1.0, 2.0]), np.array([1.0]))

@@ -1,0 +1,125 @@
+"""Tests for the kNN-graph substrate (kernels, exact, NN-descent, graph matrices)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.config import KnnGraphConfig
+from repro.exceptions import IndexingError
+from repro.knng.graph import build_knn_graph
+from repro.knng.kernels import gaussian_similarity, squared_distance_from_inner
+from repro.knng.nndescent import exact_knn, nn_descent
+from repro.utils.linalg import normalize_rows
+
+
+@pytest.fixture()
+def clustered_vectors(rng):
+    """Three well-separated clusters of unit vectors."""
+    centers = normalize_rows(rng.standard_normal((3, 16)))
+    points = []
+    for center in centers:
+        points.append(normalize_rows(center + 0.05 * rng.standard_normal((40, 16))))
+    return np.vstack(points)
+
+
+class TestKernels:
+    def test_gaussian_similarity_range(self):
+        distances = np.array([0.0, 0.1, 1.0])
+        weights = gaussian_similarity(distances, sigma=0.3)
+        assert weights[0] == pytest.approx(1.0)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_invalid_sigma(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            gaussian_similarity(np.array([1.0]), sigma=0.0)
+
+    def test_squared_distance_from_inner(self):
+        inner = np.array([1.0, 0.0, -1.0])
+        expected = np.array([0.0, 2.0, 4.0])
+        assert np.allclose(squared_distance_from_inner(inner), expected)
+
+
+class TestExactKnn:
+    def test_neighbors_are_sorted_and_exclude_self(self, clustered_vectors):
+        ids, sims = exact_knn(clustered_vectors, k=5)
+        assert ids.shape == (120, 5)
+        for node in range(ids.shape[0]):
+            assert node not in ids[node]
+            assert np.all(np.diff(sims[node]) <= 1e-12)
+
+    def test_matches_bruteforce_for_small_input(self, rng):
+        vectors = normalize_rows(rng.standard_normal((30, 8)))
+        ids, _ = exact_knn(vectors, k=3)
+        sims = vectors @ vectors.T
+        np.fill_diagonal(sims, -np.inf)
+        expected = np.argsort(-sims, axis=1)[:, :3]
+        assert np.array_equal(np.sort(ids, axis=1), np.sort(expected, axis=1))
+
+    def test_requires_two_vectors(self):
+        with pytest.raises(IndexingError):
+            exact_knn(np.ones((1, 4)), k=1)
+
+
+class TestNnDescent:
+    def test_recall_against_exact(self, clustered_vectors):
+        exact_ids, _ = exact_knn(clustered_vectors, k=5)
+        approx_ids, _ = nn_descent(clustered_vectors, k=5, iterations=10, seed=0)
+        recall = np.mean(
+            [
+                len(set(exact_ids[i]) & set(approx_ids[i])) / 5
+                for i in range(clustered_vectors.shape[0])
+            ]
+        )
+        assert recall > 0.8
+
+    def test_invalid_arguments(self):
+        with pytest.raises(IndexingError):
+            nn_descent(np.ones((1, 4)), k=1)
+        with pytest.raises(IndexingError):
+            nn_descent(np.ones((10, 4)), k=2, sample_rate=0.0)
+
+    def test_similarities_sorted(self, clustered_vectors):
+        _, sims = nn_descent(clustered_vectors, k=4, seed=1)
+        assert np.all(np.diff(sims, axis=1) <= 1e-12)
+
+
+class TestKnnGraph:
+    def test_adjacency_is_symmetric_and_sparse(self, clustered_vectors):
+        graph = build_knn_graph(clustered_vectors, KnnGraphConfig(k=5))
+        adjacency = graph.adjacency()
+        assert sparse.issparse(adjacency)
+        assert (abs(adjacency - adjacency.T)).nnz == 0
+
+    def test_laplacian_is_psd(self, clustered_vectors):
+        graph = build_knn_graph(clustered_vectors, KnnGraphConfig(k=5))
+        laplacian = graph.laplacian().toarray()
+        eigenvalues = np.linalg.eigvalsh((laplacian + laplacian.T) / 2)
+        assert eigenvalues.min() > -1e-8
+
+    def test_degree_matches_adjacency_row_sums(self, clustered_vectors):
+        graph = build_knn_graph(clustered_vectors, KnnGraphConfig(k=4))
+        adjacency = graph.adjacency()
+        degree = graph.degree(adjacency).diagonal()
+        assert np.allclose(degree, np.asarray(adjacency.sum(axis=1)).ravel())
+
+    def test_neighbors_within_cluster(self, clustered_vectors):
+        graph = build_knn_graph(clustered_vectors, KnnGraphConfig(k=5))
+        # Points 0..39 belong to cluster 0; their neighbours should too.
+        ids, _ = graph.neighbors_of(0)
+        assert np.all(ids < 40)
+
+    def test_nn_descent_path(self, clustered_vectors):
+        config = KnnGraphConfig(k=5, use_nn_descent=True, nn_descent_iterations=5)
+        graph = build_knn_graph(clustered_vectors, config, seed=0)
+        assert graph.node_count == clustered_vectors.shape[0]
+
+    def test_adaptive_sigma_keeps_weights_informative(self, clustered_vectors):
+        graph = build_knn_graph(clustered_vectors, KnnGraphConfig(k=5, sigma=0.05))
+        assert graph.neighbor_weights.max() > 0.1
+
+    def test_unknown_node_raises(self, clustered_vectors):
+        graph = build_knn_graph(clustered_vectors, KnnGraphConfig(k=3))
+        with pytest.raises(IndexingError):
+            graph.neighbors_of(10**6)

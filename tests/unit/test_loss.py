@@ -1,0 +1,112 @@
+"""Tests for the SeeSaw loss: term values, analytic gradients, bias handling."""
+
+import numpy as np
+import pytest
+
+from repro.config import LossWeights
+from repro.core.loss import SeeSawLoss, log_loss, sigmoid
+from repro.exceptions import OptimizationError
+from repro.optim.objective import numerical_gradient
+from repro.utils.linalg import normalize_rows, normalize_vector
+
+
+@pytest.fixture()
+def loss_inputs(rng):
+    dim = 12
+    features = normalize_rows(rng.standard_normal((20, dim)))
+    labels = (rng.random(20) < 0.4).astype(float)
+    query = normalize_vector(rng.standard_normal(dim))
+    raw = rng.standard_normal((dim, dim))
+    db_matrix = raw @ raw.T / 100.0
+    return features, labels, query, db_matrix
+
+
+class TestPrimitives:
+    def test_sigmoid_stability(self):
+        values = np.array([-1000.0, 0.0, 1000.0])
+        out = sigmoid(values)
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0)
+
+    def test_log_loss_perfect_predictions(self):
+        labels = np.array([1.0, 0.0])
+        assert log_loss(labels, np.array([1.0, 0.0])) < 1e-6
+
+
+class TestSeeSawLoss:
+    def test_gradient_matches_numerical(self, loss_inputs):
+        features, labels, query, db_matrix = loss_inputs
+        loss = SeeSawLoss(features, labels, query, db_matrix, LossWeights(1.0, 2.0, 5.0))
+        point = normalize_vector(np.ones(query.shape[0])) * 0.7
+        _, analytic = loss(point)
+        numeric = numerical_gradient(loss, point)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_gradient_with_bias_matches_numerical(self, loss_inputs):
+        features, labels, query, db_matrix = loss_inputs
+        loss = SeeSawLoss(
+            features, labels, query, db_matrix, LossWeights(1.0, 2.0, 5.0), fit_bias=True
+        )
+        point = np.concatenate([0.5 * query, [0.3]])
+        _, analytic = loss(point)
+        numeric = numerical_gradient(loss, point)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_breakdown_sums_to_total(self, loss_inputs):
+        features, labels, query, db_matrix = loss_inputs
+        loss = SeeSawLoss(features, labels, query, db_matrix, LossWeights(1.0, 2.0, 5.0))
+        point = 0.4 * query
+        value, _ = loss(point)
+        assert loss.breakdown(point).total == pytest.approx(value)
+
+    def test_clip_term_prefers_alignment_with_text(self, loss_inputs):
+        features, labels, query, _ = loss_inputs
+        loss = SeeSawLoss(features, labels, query, None, LossWeights(0.0, 1.0, 0.0))
+        aligned = loss.breakdown(query).clip_term
+        opposed = loss.breakdown(-query).clip_term
+        assert aligned < opposed
+
+    def test_db_term_scale_invariant(self, loss_inputs):
+        features, labels, query, db_matrix = loss_inputs
+        loss = SeeSawLoss(features, labels, query, db_matrix, LossWeights(0.0, 0.0, 1.0))
+        small = loss.breakdown(0.1 * query).db_term
+        large = loss.breakdown(10.0 * query).db_term
+        assert small == pytest.approx(large, rel=1e-6)
+
+    def test_empty_feedback_only_regularisers(self, loss_inputs):
+        _, _, query, db_matrix = loss_inputs
+        loss = SeeSawLoss(
+            np.zeros((0, query.shape[0])), np.zeros(0), query, db_matrix, LossWeights(1.0, 1.0, 1.0)
+        )
+        breakdown = loss.breakdown(query)
+        assert breakdown.data_term == 0.0
+        assert breakdown.total > 0.0
+
+    def test_dimension_mismatch_rejected(self, loss_inputs):
+        features, labels, query, _ = loss_inputs
+        with pytest.raises(OptimizationError):
+            SeeSawLoss(features, labels, query[:-1])
+
+    def test_bad_db_matrix_shape_rejected(self, loss_inputs):
+        features, labels, query, _ = loss_inputs
+        with pytest.raises(OptimizationError):
+            SeeSawLoss(features, labels, query, np.zeros((3, 3)))
+
+    def test_labels_length_mismatch_rejected(self, loss_inputs):
+        features, labels, query, _ = loss_inputs
+        with pytest.raises(OptimizationError):
+            SeeSawLoss(features, labels[:-1], query)
+
+    def test_initial_parameters_shapes(self, loss_inputs):
+        features, labels, query, _ = loss_inputs
+        no_bias = SeeSawLoss(features, labels, query)
+        with_bias = SeeSawLoss(features, labels, query, fit_bias=True)
+        assert no_bias.initial_parameters().shape[0] == query.shape[0]
+        assert with_bias.initial_parameters().shape[0] == query.shape[0] + 1
+
+    def test_split_parameters_validates_length(self, loss_inputs):
+        features, labels, query, _ = loss_inputs
+        loss = SeeSawLoss(features, labels, query)
+        with pytest.raises(OptimizationError):
+            loss.split_parameters(np.zeros(3))

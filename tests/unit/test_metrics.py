@@ -1,0 +1,132 @@
+"""Tests for the paper-style AP metric and its aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BenchmarkError
+from repro.metrics import (
+    ApDistribution,
+    average_precision_at_cutoff,
+    average_precision_full,
+    cumulative_distribution,
+    delta_ap,
+    hard_subset,
+    mean_average_precision,
+    precision_at_k,
+    quantile_interval,
+)
+
+
+class TestAveragePrecisionAtCutoff:
+    def test_perfect_run_scores_one(self):
+        relevance = [True] * 10 + [False] * 50
+        assert average_precision_at_cutoff(relevance, total_relevant=50) == pytest.approx(1.0)
+
+    def test_no_results_scores_zero(self):
+        assert average_precision_at_cutoff([False] * 60, total_relevant=30) == 0.0
+
+    def test_earlier_results_score_higher(self):
+        early = [True, True, False, False] + [False] * 20
+        late = [False, False, True, True] + [False] * 20
+        ap_early = average_precision_at_cutoff(early, total_relevant=2)
+        ap_late = average_precision_at_cutoff(late, total_relevant=2)
+        assert ap_early > ap_late
+
+    def test_uses_r_when_fewer_than_target_positives_exist(self):
+        # 3 positives in the dataset, all found immediately: AP should be 1.
+        relevance = [True, True, True] + [False] * 10
+        assert average_precision_at_cutoff(relevance, total_relevant=3) == pytest.approx(1.0)
+
+    def test_missing_positives_counted_as_zero_precision(self):
+        relevance = [True] + [False] * 59
+        ap = average_precision_at_cutoff(relevance, total_relevant=10)
+        assert ap == pytest.approx(0.1)
+
+    def test_results_beyond_budget_ignored(self):
+        relevance = [False] * 60 + [True] * 10
+        assert average_precision_at_cutoff(relevance, total_relevant=10) == 0.0
+
+    def test_stops_counting_after_target(self):
+        relevance = [True] * 20
+        ap = average_precision_at_cutoff(relevance, total_relevant=20, target_results=10)
+        assert ap == pytest.approx(1.0)
+
+    def test_zero_relevant_in_dataset(self):
+        assert average_precision_at_cutoff([False, False], total_relevant=0) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(BenchmarkError):
+            average_precision_at_cutoff([True], total_relevant=-1)
+        with pytest.raises(BenchmarkError):
+            average_precision_at_cutoff([True], total_relevant=1, target_results=0)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            relevance = (rng.random(60) < 0.2).tolist()
+            ap = average_precision_at_cutoff(relevance, total_relevant=30)
+            assert 0.0 <= ap <= 1.0
+
+
+class TestFullAveragePrecision:
+    def test_perfect_ranking(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.05])
+        labels = np.array([1.0, 1.0, 0.0, 0.0])
+        assert average_precision_full(scores, labels) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.05])
+        labels = np.array([0.0, 0.0, 1.0, 1.0])
+        assert average_precision_full(scores, labels) == pytest.approx((1 / 3 + 2 / 4) / 2)
+
+    def test_no_positives(self):
+        assert average_precision_full(np.array([1.0, 2.0]), np.zeros(2)) == 0.0
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(BenchmarkError):
+            average_precision_full(np.array([1.0]), np.array([1.0, 0.0]))
+
+
+class TestPrecisionAtK:
+    def test_basic(self):
+        assert precision_at_k([True, False, True, False], 2) == pytest.approx(0.5)
+
+    def test_invalid_k(self):
+        with pytest.raises(BenchmarkError):
+            precision_at_k([True], 0)
+
+
+class TestAggregates:
+    def test_mean_ignores_nan(self):
+        assert mean_average_precision([0.5, float("nan"), 1.0]) == pytest.approx(0.75)
+
+    def test_delta_ap(self):
+        deltas = delta_ap({"a": 0.8, "b": 0.3}, {"a": 0.5, "b": 0.4})
+        assert deltas == {"a": pytest.approx(0.3), "b": pytest.approx(-0.1)}
+
+    def test_delta_ap_missing_baseline(self):
+        with pytest.raises(BenchmarkError):
+            delta_ap({"a": 1.0}, {})
+
+    def test_hard_subset_threshold(self):
+        hard = hard_subset({"a": 0.2, "b": 0.7, "c": 0.49})
+        assert hard == ["a", "c"]
+
+    def test_cumulative_distribution(self):
+        values, fractions = cumulative_distribution([0.3, 0.1, 0.2])
+        assert np.allclose(values, [0.1, 0.2, 0.3])
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_quantile_interval(self):
+        low, high = quantile_interval(list(np.linspace(0, 1, 101)), 0.1, 0.9)
+        assert low == pytest.approx(0.1, abs=0.02)
+        assert high == pytest.approx(0.9, abs=0.02)
+
+    def test_ap_distribution_summaries(self):
+        dist = ApDistribution("coco", "zero_shot", {"a": 0.2, "b": 1.0, "c": 0.4})
+        assert dist.mean == pytest.approx(np.mean([0.2, 1.0, 0.4]))
+        assert dist.median == pytest.approx(0.4)
+        assert dist.fraction_below(0.5) == pytest.approx(2 / 3)
+        assert dist.count_below(0.5) == 2
+        restricted = dist.restricted_to(["a"])
+        assert restricted.per_query == {"a": 0.2}

@@ -1,0 +1,122 @@
+"""Tests for the shared utility helpers (rng, linalg, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.linalg import (
+    angular_distance,
+    cosine_similarity,
+    normalize_rows,
+    normalize_vector,
+    pairwise_inner,
+    random_unit_vectors,
+    rotate_towards,
+)
+from repro.utils.rng import (
+    derive_rng,
+    ensure_rng,
+    sample_without_replacement,
+    shuffled,
+    spawn_seeds,
+)
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_probability,
+    check_shape,
+    check_unit_norm,
+)
+
+
+class TestRng:
+    def test_ensure_rng_accepts_int_and_generator(self):
+        generator = ensure_rng(3)
+        assert isinstance(generator, np.random.Generator)
+        assert ensure_rng(generator) is generator
+
+    def test_derive_rng_is_label_stable(self):
+        first = derive_rng(5, "a", "b").integers(0, 1_000_000)
+        second = derive_rng(5, "a", "b").integers(0, 1_000_000)
+        assert first == second
+
+    def test_derive_rng_differs_by_label(self):
+        a = derive_rng(5, "a").integers(0, 1_000_000)
+        b = derive_rng(5, "b").integers(0, 1_000_000)
+        assert a != b
+
+    def test_spawn_seeds_count(self):
+        assert len(spawn_seeds(0, 7)) == 7
+
+    def test_shuffled_does_not_mutate(self):
+        items = [1, 2, 3, 4]
+        shuffled(items, seed=0)
+        assert items == [1, 2, 3, 4]
+
+    def test_sample_without_replacement_handles_small_pool(self):
+        assert sorted(sample_without_replacement([1, 2], 5, seed=0)) == [1, 2]
+
+
+class TestLinalg:
+    def test_normalize_vector_unit_norm(self):
+        vector = normalize_vector(np.array([3.0, 4.0]))
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_normalize_vector_zero_stays_zero(self):
+        assert np.allclose(normalize_vector(np.zeros(4)), 0.0)
+
+    def test_normalize_rows(self):
+        matrix = normalize_rows(np.array([[3.0, 4.0], [0.0, 2.0]]))
+        assert np.allclose(np.linalg.norm(matrix, axis=1), 1.0)
+
+    def test_cosine_similarity_bounds(self):
+        a = np.array([1.0, 0.0])
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+        assert cosine_similarity(a, -a) == pytest.approx(-1.0)
+
+    def test_pairwise_inner_shape(self):
+        queries = np.eye(3)[:2]
+        database = np.eye(3)
+        assert pairwise_inner(queries, database).shape == (2, 3)
+
+    def test_random_unit_vectors_are_unit(self):
+        vectors = random_unit_vectors(10, 16, seed=0)
+        assert np.allclose(np.linalg.norm(vectors, axis=1), 1.0)
+
+    def test_rotate_towards_angle(self):
+        start = np.array([1.0, 0.0, 0.0])
+        target = np.array([0.0, 1.0, 0.0])
+        rotated = rotate_towards(start, target, 0.5)
+        assert angular_distance(start, rotated) == pytest.approx(0.5, abs=1e-6)
+
+    def test_rotate_towards_parallel_is_noop(self):
+        start = np.array([1.0, 0.0])
+        rotated = rotate_towards(start, start, 0.7)
+        assert np.allclose(rotated, start)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 2.0) == 2.0
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0.0)
+        assert check_positive("x", 0.0, allow_zero=True) == 0.0
+
+    def test_check_probability(self):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 1.5)
+
+    def test_check_shape_wildcards(self):
+        array = np.zeros((3, 4))
+        check_shape("a", array, (None, 4))
+        with pytest.raises(ConfigurationError):
+            check_shape("a", array, (None, 5))
+
+    def test_check_finite(self):
+        with pytest.raises(ConfigurationError):
+            check_finite("a", np.array([1.0, np.nan]))
+
+    def test_check_unit_norm(self):
+        check_unit_norm("v", np.array([1.0, 0.0]))
+        with pytest.raises(ConfigurationError):
+            check_unit_norm("v", np.array([2.0, 0.0]))

@@ -1,0 +1,123 @@
+"""Tests for the exact and Annoy-style vector stores."""
+
+import numpy as np
+import pytest
+
+from repro.data.geometry import BoundingBox
+from repro.exceptions import VectorStoreError
+from repro.utils.linalg import normalize_rows
+from repro.vectorstore.base import VectorRecord
+from repro.vectorstore.exact import ExactVectorStore
+from repro.vectorstore.forest import RandomProjectionForest
+
+
+def make_records(count: int) -> list[VectorRecord]:
+    box = BoundingBox(0, 0, 10, 10)
+    return [VectorRecord(vector_id=i, image_id=i, box=box) for i in range(count)]
+
+
+@pytest.fixture()
+def store_data(rng):
+    vectors = normalize_rows(rng.standard_normal((200, 32)))
+    return vectors, make_records(200)
+
+
+class TestExactVectorStore:
+    def test_search_returns_true_top_k(self, store_data):
+        vectors, records = store_data
+        store = ExactVectorStore(vectors, records)
+        query = vectors[17]
+        hits = store.search(query, k=5)
+        scores = vectors @ query
+        expected = set(np.argsort(-scores)[:5].tolist())
+        assert {hit.vector_id for hit in hits} == expected
+        assert hits[0].vector_id == 17
+
+    def test_scores_are_sorted_descending(self, store_data):
+        store = ExactVectorStore(*store_data)
+        hits = store.search(store.vectors[0], k=10)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_exclusion(self, store_data):
+        vectors, records = store_data
+        store = ExactVectorStore(vectors, records)
+        hits = store.search(vectors[3], k=3, exclude_vector_ids={3})
+        assert 3 not in {hit.vector_id for hit in hits}
+
+    def test_k_larger_than_store(self, store_data):
+        vectors, records = store_data
+        store = ExactVectorStore(vectors[:5], records[:5])
+        assert len(store.search(vectors[0], k=50)) == 5
+
+    def test_dimension_mismatch(self, store_data):
+        store = ExactVectorStore(*store_data)
+        with pytest.raises(VectorStoreError):
+            store.search(np.zeros(7), k=1)
+
+    def test_invalid_k(self, store_data):
+        store = ExactVectorStore(*store_data)
+        with pytest.raises(VectorStoreError):
+            store.search(store.vectors[0], k=0)
+
+    def test_record_lookup(self, store_data):
+        store = ExactVectorStore(*store_data)
+        assert store.record(4).image_id == 4
+        with pytest.raises(VectorStoreError):
+            store.record(10_000)
+
+    def test_records_must_match_positions(self, store_data):
+        vectors, records = store_data
+        bad = list(reversed(records))
+        with pytest.raises(VectorStoreError):
+            ExactVectorStore(vectors, bad)
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(VectorStoreError):
+            ExactVectorStore(np.zeros((0, 8)), [])
+
+    def test_vectors_are_read_only(self, store_data):
+        store = ExactVectorStore(*store_data)
+        with pytest.raises(ValueError):
+            store.vectors[0, 0] = 5.0
+
+    def test_score_all(self, store_data):
+        vectors, records = store_data
+        store = ExactVectorStore(vectors, records)
+        scores = store.score_all(vectors[0])
+        assert scores.shape == (200,)
+        assert scores[0] == pytest.approx(1.0)
+
+
+class TestRandomProjectionForest:
+    def test_high_recall_against_exact(self, store_data):
+        vectors, records = store_data
+        forest = RandomProjectionForest(vectors, records, tree_count=10, leaf_size=16, seed=0)
+        queries = vectors[:20]
+        recall = forest.recall_against_exact(queries, k=10)
+        assert recall > 0.85
+
+    def test_search_excludes_ids(self, store_data):
+        vectors, records = store_data
+        forest = RandomProjectionForest(vectors, records, seed=1)
+        hits = forest.search(vectors[7], k=5, exclude_vector_ids={7})
+        assert 7 not in {hit.vector_id for hit in hits}
+
+    def test_self_query_finds_itself(self, store_data):
+        vectors, records = store_data
+        forest = RandomProjectionForest(vectors, records, tree_count=10, seed=2)
+        hits = forest.search(vectors[42], k=1)
+        assert hits and hits[0].vector_id == 42
+
+    def test_invalid_parameters(self, store_data):
+        vectors, records = store_data
+        with pytest.raises(VectorStoreError):
+            RandomProjectionForest(vectors, records, tree_count=0)
+        with pytest.raises(VectorStoreError):
+            RandomProjectionForest(vectors, records, leaf_size=1)
+
+    def test_handles_duplicate_vectors(self):
+        vectors = np.tile(np.array([[1.0, 0.0, 0.0]]), (50, 1))
+        forest = RandomProjectionForest(vectors, make_records(50), leaf_size=4, seed=0)
+        hits = forest.search(np.array([1.0, 0.0, 0.0]), k=5)
+        assert len(hits) == 5
