@@ -1,6 +1,6 @@
 """Table 6: per-iteration system latency vs database size for each method."""
 
-from repro.bench.experiments import table6_latency
+from repro.bench.experiments import table6_latency, table6_service_latency
 
 
 def test_table6_latency(benchmark, bundles, scale, settings, save_report):
@@ -17,3 +17,19 @@ def test_table6_latency(benchmark, bundles, scale, settings, save_report):
     # Zero-shot CLIP (no model update) is the cheapest method everywhere.
     for row in result.rows:
         assert row["CLIP"] <= row["SeeSaw"] + 0.05
+
+
+def test_table6_service_roundtrip(benchmark, bundles, save_report, tmp_path):
+    """Service-layer row: HTTP start+next latency, warm vs cold index cache."""
+    result = benchmark.pedantic(
+        lambda: table6_service_latency(bundles["bdd"], str(tmp_path / "cache")),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("table6_service_latency", result.format_text())
+    cold, warm = result.rows
+    # The warm phase must come entirely from the on-disk cache...
+    assert cold["cache_hits"] == 0
+    assert warm["cache_hits"] == 1
+    # ...which makes its start-up dramatically cheaper than preprocessing.
+    assert warm["startup_s"] < cold["startup_s"]

@@ -7,6 +7,11 @@ SeeSaw index (multiscale patch embeddings + vector store + kNN graph + the
 DB-alignment matrix), and then runs the interactive loop of the paper's
 Listing 1 for the query "a dog", using the dataset's ground-truth
 boxes to play the role of the user.
+
+Preprocessing here runs from scratch each time; to persist it across runs,
+set ``SeeSawConfig(index_cache_dir="...")`` (or pass ``cache_dir=`` to
+``SeeSawService.register_dataset``) and the built index is cached on disk
+keyed by dataset/embedding/config content — see ``examples/service_demo.py``.
 """
 
 from __future__ import annotations

@@ -628,6 +628,93 @@ def table6_latency(
 
 
 # ---------------------------------------------------------------------------
+# Table 6 (service) — HTTP round-trip latency, warm vs cold index cache
+# ---------------------------------------------------------------------------
+@dataclass
+class ServiceLatencyResult:
+    """Start-up and per-request latency of the HTTP service layer."""
+
+    rows: "list[dict[str, object]]"
+
+    def format_text(self) -> str:
+        columns = ["startup_s", "http_start_ms", "http_next_ms", "cache_hits"]
+        table_rows = [
+            [row["phase"], row["vectors"]] + [row[column] for column in columns]
+            for row in self.rows
+        ]
+        return format_table(
+            ["phase", "vectors"] + columns,
+            table_rows,
+            title=(
+                "Table 6 (service): HTTP round-trip latency, "
+                "cold vs warm index cache"
+            ),
+            float_format="{:.3f}",
+        )
+
+
+def table6_service_latency(
+    bundle: DatasetBundle,
+    cache_dir: str,
+    requests_per_phase: int = 3,
+) -> ServiceLatencyResult:
+    """Measure service start-up and HTTP start+next latency, cold then warm.
+
+    The *cold* phase registers the dataset against an empty cache directory
+    (full preprocessing, then persisted); the *warm* phase starts a fresh
+    service against the now-populated cache and must load from disk.
+    """
+    import time
+
+    from repro.server import (
+        SeeSawApp,
+        SeeSawService,
+        ServiceClient,
+        SessionManager,
+        StartSessionRequest,
+        serve_in_background,
+    )
+
+    rows: list[dict[str, object]] = []
+    query = bundle.queries(ExperimentScale())[0].prompt
+    for phase in ("cold", "warm"):
+        start = time.perf_counter()
+        service = SeeSawService(bundle.config)
+        service.register_dataset(
+            bundle.dataset, bundle.embedding, preprocess=True, cache_dir=cache_dir
+        )
+        startup_seconds = time.perf_counter() - start
+        app = SeeSawApp(SessionManager(service))
+        start_latencies: list[float] = []
+        next_latencies: list[float] = []
+        with serve_in_background(app) as server:
+            client = ServiceClient(server.url)
+            for _ in range(requests_per_phase):
+                begin = time.perf_counter()
+                info = client.start_session(
+                    StartSessionRequest(
+                        dataset=bundle.dataset.name, text_query=query, batch_size=3
+                    )
+                )
+                start_latencies.append(time.perf_counter() - begin)
+                begin = time.perf_counter()
+                client.next_results(info.session_id)
+                next_latencies.append(time.perf_counter() - begin)
+                client.close_session(info.session_id)
+        rows.append(
+            {
+                "phase": phase,
+                "vectors": service.index_for(bundle.dataset.name).vector_count,
+                "startup_s": startup_seconds,
+                "http_start_ms": float(np.mean(start_latencies)) * 1000.0,
+                "http_next_ms": float(np.mean(next_latencies)) * 1000.0,
+                "cache_hits": service.cache_hits,
+            }
+        )
+    return ServiceLatencyResult(rows=rows)
+
+
+# ---------------------------------------------------------------------------
 # Table 7 — hyperparameter sensitivity
 # ---------------------------------------------------------------------------
 # The paper sweeps lambda_c in {3, 10, 30}, lambda_D in {300, 1000, 3000} and

@@ -10,7 +10,7 @@ floor (see :class:`KnnGraphConfig`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Mapping
 
 from repro.exceptions import ConfigurationError
@@ -144,6 +144,10 @@ class SeeSawConfig:
     use_db_alignment: bool = True
     fit_bias: bool = False
     seed: int = 0
+    index_cache_dir: "str | None" = None
+    """When set, built indexes are persisted under this directory (keyed by a
+    content hash of dataset + embedding + config) and loaded back on the next
+    start instead of being re-embedded.  See :mod:`repro.store`."""
 
     def __post_init__(self) -> None:
         if self.embedding_dim < 2:
@@ -152,6 +156,29 @@ class SeeSawConfig:
     def with_overrides(self, **overrides: Any) -> "SeeSawConfig":
         """Return a copy with the given top-level fields replaced."""
         return replace(self, **overrides)
+
+    def to_dict(self) -> "dict[str, Any]":
+        """Full JSON-serializable representation (nested sections included)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SeeSawConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        sections: dict[str, type] = {
+            "loss": LossWeights,
+            "knn": KnnGraphConfig,
+            "multiscale": MultiscaleConfig,
+            "optimizer": OptimizerConfig,
+            "task": BenchmarkTaskConfig,
+        }
+        kwargs: dict[str, Any] = {}
+        for key, value in data.items():
+            section = sections.get(key)
+            if section is not None and isinstance(value, Mapping):
+                kwargs[key] = section(**value)
+            else:
+                kwargs[key] = value
+        return cls(**kwargs)
 
     def describe(self) -> Mapping[str, Any]:
         """A flat mapping of the most important knobs, handy for reports."""

@@ -22,6 +22,15 @@ class EmbeddingModel(ABC):
     def dim(self) -> int:
         """Dimensionality of the embedding space."""
 
+    def fingerprint(self) -> "dict[str, object]":
+        """A JSON-serializable identity of this model, for index cache keys.
+
+        Two models with equal fingerprints must embed identically.  The base
+        implementation only captures the class and dimensionality; models with
+        internal randomness or tunable parameters must extend it.
+        """
+        return {"class": type(self).__name__, "dim": self.dim}
+
     @abstractmethod
     def embed_text(self, query: str) -> np.ndarray:
         """Embed a free-text query string into the shared space."""

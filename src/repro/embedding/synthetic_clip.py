@@ -147,6 +147,26 @@ class SyntheticClip(EmbeddingModel):
         """The category catalog this model was built for."""
         return dict(self._categories)
 
+    def fingerprint(self) -> "dict[str, object]":
+        """Identity for index cache keys: seed, knobs, and the category catalog."""
+        identity = super().fingerprint()
+        identity.update(
+            seed=self.seed,
+            background_strength=self.background_strength,
+            clutter_noise=self.clutter_noise,
+            coverage_exponent=self.coverage_exponent,
+            contexts=list(self._contexts),
+            categories=[
+                {
+                    "name": info.name,
+                    "alignment_deficit": info.alignment_deficit,
+                    "locality_noise": info.locality_noise,
+                }
+                for info in sorted(self._categories.values(), key=lambda c: c.name)
+            ],
+        )
+        return identity
+
     def embed_text(self, query: str) -> np.ndarray:
         """Embed a text query.
 

@@ -40,5 +40,21 @@ class SessionError(ReproError):
     """An interactive search session was used incorrectly."""
 
 
+class UnknownResourceError(SessionError):
+    """A referenced session or dataset does not exist (HTTP 404)."""
+
+
+class ServiceOverloadedError(SessionError):
+    """The service is at its concurrent-session capacity (HTTP 503)."""
+
+
+class TransportError(ReproError):
+    """An HTTP request or response payload is malformed."""
+
+
+class StoreError(ReproError):
+    """Persisting or loading a serialized index failed."""
+
+
 class BenchmarkError(ReproError):
     """A benchmark experiment was configured or executed incorrectly."""

@@ -1,4 +1,14 @@
-"""Server layer: the query-aligner service mediating UI and index (§2)."""
+"""Server layer: the query-aligner service mediating UI and index (§2).
+
+Three layers, innermost out:
+
+* :class:`SeeSawService` — the in-process registry of datasets, indexes, and
+  live sessions (single-threaded);
+* :class:`SessionManager` — thread-safe session engine (per-session locks,
+  capacity limits, TTL eviction, double-checked index builds);
+* :class:`SeeSawApp` + the HTTP transport — JSON endpoints over stdlib
+  ``ThreadingHTTPServer``, with :class:`ServiceClient` as the typed caller.
+"""
 
 from repro.server.api import (
     BoxPayload,
@@ -8,10 +18,26 @@ from repro.server.api import (
     SessionInfo,
     StartSessionRequest,
 )
+from repro.server.app import SeeSawApp
+from repro.server.client import ServiceClient
+from repro.server.http import (
+    BackgroundServer,
+    SeeSawHTTPServer,
+    serve_forever,
+    serve_in_background,
+)
+from repro.server.manager import SessionManager
 from repro.server.service import SeeSawService
 
 __all__ = [
     "SeeSawService",
+    "SessionManager",
+    "SeeSawApp",
+    "ServiceClient",
+    "SeeSawHTTPServer",
+    "BackgroundServer",
+    "serve_in_background",
+    "serve_forever",
     "StartSessionRequest",
     "BoxPayload",
     "FeedbackRequest",

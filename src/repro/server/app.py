@@ -1,0 +1,129 @@
+"""Transport-agnostic request router for the SeeSaw service.
+
+The :class:`SeeSawApp` maps ``(method, path, body)`` to a status code and a
+JSON-serializable payload.  It owns URL parsing, codec invocation, and the
+exception→status mapping; it knows nothing about sockets, which keeps the
+whole routing layer unit-testable without binding a port.
+
+Endpoints
+---------
+``GET  /healthz``                    liveness + registry summary
+``POST /sessions``                   start a session (StartSessionRequest body)
+``GET  /sessions/{id}``              session progress summary
+``GET  /sessions/{id}/next``         next result batch (optional ``?count=N``)
+``POST /sessions/{id}/feedback``     submit feedback (FeedbackRequest body)
+``DELETE /sessions/{id}``            close a session
+"""
+
+from __future__ import annotations
+
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import (
+    ReproError,
+    ServiceOverloadedError,
+    TransportError,
+    UnknownResourceError,
+)
+from repro.server.codec import (
+    decode_feedback_request,
+    decode_start_session_request,
+    encode_next_results_response,
+    encode_session_info,
+    parse_json,
+)
+from repro.server.manager import SessionManager
+
+
+def error_payload(kind: str, message: str) -> "dict[str, object]":
+    """The uniform error envelope every non-2xx response carries."""
+    return {"error": {"type": kind, "message": message}}
+
+
+class SeeSawApp:
+    """Routes decoded HTTP requests into a :class:`SessionManager`."""
+
+    def __init__(self, manager: SessionManager) -> None:
+        self.manager = manager
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def handle(
+        self, method: str, target: str, body: "bytes | None" = None
+    ) -> "tuple[int, dict[str, object]]":
+        """Dispatch one request; always returns ``(status, payload)``."""
+        parts = urlsplit(target)
+        segments = [segment for segment in parts.path.split("/") if segment]
+        query = parse_qs(parts.query)
+        try:
+            return self._route(method.upper(), segments, query, body)
+        except TransportError as exc:
+            return 400, error_payload("TransportError", str(exc))
+        except UnknownResourceError as exc:
+            return 404, error_payload("UnknownResourceError", str(exc))
+        except ServiceOverloadedError as exc:
+            return 503, error_payload("ServiceOverloadedError", str(exc))
+        except ReproError as exc:
+            return 400, error_payload(type(exc).__name__, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            return 500, error_payload("InternalError", str(exc))
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _route(
+        self,
+        method: str,
+        segments: "list[str]",
+        query: "dict[str, list[str]]",
+        body: "bytes | None",
+    ) -> "tuple[int, dict[str, object]]":
+        if segments == ["healthz"] and method == "GET":
+            return 200, self.manager.health()
+
+        if segments == ["sessions"] and method == "POST":
+            request = decode_start_session_request(parse_json(body))
+            info = self.manager.start_session(request)
+            return 201, encode_session_info(info)
+
+        if len(segments) == 2 and segments[0] == "sessions":
+            session_id = segments[1]
+            if method == "GET":
+                return 200, encode_session_info(self.manager.session_info(session_id))
+            if method == "DELETE":
+                self.manager.close_session(session_id)
+                return 200, {"closed": session_id}
+
+        if len(segments) == 3 and segments[0] == "sessions":
+            session_id = segments[1]
+            if segments[2] == "next" and method == "GET":
+                count = self._count_param(query)
+                response = self.manager.next_results(session_id, count)
+                return 200, encode_next_results_response(response)
+            if segments[2] == "feedback" and method == "POST":
+                request = decode_feedback_request(
+                    parse_json(body), session_id=session_id
+                )
+                info = self.manager.give_feedback(request)
+                return 200, encode_session_info(info)
+
+        return 404, error_payload(
+            "UnknownResourceError",
+            f"No route for {method} /{'/'.join(segments)}",
+        )
+
+    @staticmethod
+    def _count_param(query: "dict[str, list[str]]") -> "int | None":
+        values = query.get("count")
+        if not values:
+            return None
+        try:
+            count = int(values[-1])
+        except ValueError as exc:
+            raise TransportError(
+                f"Query parameter 'count' must be an integer, got '{values[-1]}'"
+            ) from exc
+        if count < 1:
+            raise TransportError(f"Query parameter 'count' must be >= 1, got {count}")
+        return count

@@ -1,0 +1,221 @@
+"""JSON codecs for the service API dataclasses.
+
+Each request/response dataclass in :mod:`repro.server.api` gets an explicit
+encoder (dataclass → plain dict) and decoder (plain dict → dataclass).
+Decoders validate shapes and types and raise :class:`TransportError` with a
+message naming the offending field, so the HTTP layer can return a precise
+400 instead of a stack trace.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.exceptions import TransportError
+from repro.server.api import (
+    BoxPayload,
+    FeedbackRequest,
+    NextResultsResponse,
+    ResultItem,
+    SessionInfo,
+    StartSessionRequest,
+)
+
+
+# ---------------------------------------------------------------------------
+# field helpers
+# ---------------------------------------------------------------------------
+def _require(data: Mapping[str, Any], field: str) -> Any:
+    if field not in data:
+        raise TransportError(f"Missing required field '{field}'")
+    return data[field]
+
+
+def _as_str(value: Any, field: str) -> str:
+    if not isinstance(value, str):
+        raise TransportError(f"Field '{field}' must be a string")
+    return value
+
+
+def _as_int(value: Any, field: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TransportError(f"Field '{field}' must be an integer")
+    return value
+
+
+def _as_float(value: Any, field: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TransportError(f"Field '{field}' must be a number")
+    return float(value)
+
+
+def _as_bool(value: Any, field: str) -> bool:
+    if not isinstance(value, bool):
+        raise TransportError(f"Field '{field}' must be a boolean")
+    return value
+
+
+def _as_mapping(value: Any, context: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise TransportError(f"{context} must be a JSON object")
+    return value
+
+
+def _as_sequence(value: Any, field: str) -> Sequence[Any]:
+    if isinstance(value, (str, bytes)) or not isinstance(value, Sequence):
+        raise TransportError(f"Field '{field}' must be an array")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# per-type codecs
+# ---------------------------------------------------------------------------
+def encode_start_session_request(request: StartSessionRequest) -> "dict[str, Any]":
+    return {
+        "dataset": request.dataset,
+        "text_query": request.text_query,
+        "batch_size": request.batch_size,
+        "multiscale": request.multiscale,
+    }
+
+
+def decode_start_session_request(data: Any) -> StartSessionRequest:
+    data = _as_mapping(data, "StartSessionRequest")
+    return StartSessionRequest(
+        dataset=_as_str(_require(data, "dataset"), "dataset"),
+        text_query=_as_str(_require(data, "text_query"), "text_query"),
+        batch_size=_as_int(data.get("batch_size", 3), "batch_size"),
+        multiscale=_as_bool(data.get("multiscale", True), "multiscale"),
+    )
+
+
+def encode_box_payload(box: BoxPayload) -> "dict[str, Any]":
+    return {"x": box.x, "y": box.y, "width": box.width, "height": box.height}
+
+
+def decode_box_payload(data: Any) -> BoxPayload:
+    data = _as_mapping(data, "Box")
+    return BoxPayload(
+        x=_as_float(_require(data, "x"), "x"),
+        y=_as_float(_require(data, "y"), "y"),
+        width=_as_float(_require(data, "width"), "width"),
+        height=_as_float(_require(data, "height"), "height"),
+    )
+
+
+def encode_feedback_request(request: FeedbackRequest) -> "dict[str, Any]":
+    return {
+        "session_id": request.session_id,
+        "image_id": request.image_id,
+        "relevant": request.relevant,
+        "boxes": [encode_box_payload(box) for box in request.boxes],
+    }
+
+
+def decode_feedback_request(
+    data: Any, session_id: "str | None" = None
+) -> FeedbackRequest:
+    """Decode a feedback body; ``session_id`` from the URL wins over the body."""
+    data = _as_mapping(data, "FeedbackRequest")
+    if session_id is None:
+        session_id = _as_str(_require(data, "session_id"), "session_id")
+    return FeedbackRequest(
+        session_id=session_id,
+        image_id=_as_int(_require(data, "image_id"), "image_id"),
+        relevant=_as_bool(_require(data, "relevant"), "relevant"),
+        boxes=tuple(
+            decode_box_payload(item)
+            for item in _as_sequence(data.get("boxes", ()), "boxes")
+        ),
+    )
+
+
+def encode_result_item(item: ResultItem) -> "dict[str, Any]":
+    return {
+        "image_id": item.image_id,
+        "score": item.score,
+        "box": {
+            "x": item.box_x,
+            "y": item.box_y,
+            "width": item.box_width,
+            "height": item.box_height,
+        },
+    }
+
+
+def decode_result_item(data: Any) -> ResultItem:
+    data = _as_mapping(data, "ResultItem")
+    box = _as_mapping(_require(data, "box"), "Field 'box'")
+    return ResultItem(
+        image_id=_as_int(_require(data, "image_id"), "image_id"),
+        score=_as_float(_require(data, "score"), "score"),
+        box_x=_as_float(_require(box, "x"), "box.x"),
+        box_y=_as_float(_require(box, "y"), "box.y"),
+        box_width=_as_float(_require(box, "width"), "box.width"),
+        box_height=_as_float(_require(box, "height"), "box.height"),
+    )
+
+
+def encode_next_results_response(response: NextResultsResponse) -> "dict[str, Any]":
+    return {
+        "session_id": response.session_id,
+        "items": [encode_result_item(item) for item in response.items],
+        "total_shown": response.total_shown,
+        "positives_found": response.positives_found,
+    }
+
+
+def decode_next_results_response(data: Any) -> NextResultsResponse:
+    data = _as_mapping(data, "NextResultsResponse")
+    return NextResultsResponse(
+        session_id=_as_str(_require(data, "session_id"), "session_id"),
+        items=tuple(
+            decode_result_item(item)
+            for item in _as_sequence(_require(data, "items"), "items")
+        ),
+        total_shown=_as_int(_require(data, "total_shown"), "total_shown"),
+        positives_found=_as_int(_require(data, "positives_found"), "positives_found"),
+    )
+
+
+def encode_session_info(info: SessionInfo) -> "dict[str, Any]":
+    return {
+        "session_id": info.session_id,
+        "dataset": info.dataset,
+        "text_query": info.text_query,
+        "total_shown": info.total_shown,
+        "positives_found": info.positives_found,
+        "rounds": info.rounds,
+    }
+
+
+def decode_session_info(data: Any) -> SessionInfo:
+    data = _as_mapping(data, "SessionInfo")
+    return SessionInfo(
+        session_id=_as_str(_require(data, "session_id"), "session_id"),
+        dataset=_as_str(_require(data, "dataset"), "dataset"),
+        text_query=_as_str(_require(data, "text_query"), "text_query"),
+        total_shown=_as_int(_require(data, "total_shown"), "total_shown"),
+        positives_found=_as_int(_require(data, "positives_found"), "positives_found"),
+        rounds=_as_int(_require(data, "rounds"), "rounds"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# wire helpers
+# ---------------------------------------------------------------------------
+def dump_json(payload: Mapping[str, Any]) -> bytes:
+    """Serialize a response payload to UTF-8 JSON bytes."""
+    return json.dumps(payload).encode("utf-8")
+
+
+def parse_json(body: "bytes | None") -> Any:
+    """Parse a request body, raising :class:`TransportError` on bad JSON."""
+    if not body:
+        raise TransportError("Request body must be a JSON object")
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"Request body is not valid JSON: {exc}") from exc

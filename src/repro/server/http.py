@@ -1,0 +1,142 @@
+"""Stdlib HTTP transport for the SeeSaw service.
+
+A thin socket layer over :class:`~repro.server.app.SeeSawApp`:
+``ThreadingHTTPServer`` gives us one thread per in-flight request (the
+concurrency the :class:`~repro.server.manager.SessionManager` is built to
+absorb), and the handler does nothing but read the body, delegate to the
+app, and write the JSON response.
+
+Typical embedded use::
+
+    service = SeeSawService(config)
+    service.register_dataset(dataset, embedding, cache_dir="...")
+    with serve_in_background(SeeSawApp(SessionManager(service))) as server:
+        client = ServiceClient(server.url)
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.server.app import SeeSawApp
+
+
+class SeeSawRequestHandler(BaseHTTPRequestHandler):
+    """Reads one request, hands it to the app, writes the JSON response."""
+
+    server: "SeeSawHTTPServer"
+    server_version = "SeeSawHTTP/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else None
+        status, payload = self.server.app.handle(method, self.path, body)
+        encoded = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, format: str, *args: object) -> None:
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+
+class SeeSawHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`SeeSawApp`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        app: SeeSawApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__((host, port), SeeSawRequestHandler)
+        self.app = app
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (resolved port included)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class BackgroundServer:
+    """A :class:`SeeSawHTTPServer` running on a daemon thread.
+
+    Usable as a context manager; ``port=0`` (the default) binds an ephemeral
+    port, read back through :attr:`url` once started.
+    """
+
+    def __init__(
+        self, app: SeeSawApp, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+    ) -> None:
+        self.server = SeeSawHTTPServer(app, host=host, port=port, quiet=quiet)
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, name="seesaw-http", daemon=True
+        )
+        self._started = False
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return self.server.url
+
+    def start(self) -> "BackgroundServer":
+        """Start serving requests (idempotent)."""
+        if not self._started:
+            self._thread.start()
+            self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop the server and release the socket."""
+        if self._started:
+            self.server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._started = False
+        self.server.server_close()
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def serve_in_background(
+    app: SeeSawApp, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+) -> BackgroundServer:
+    """Start ``app`` on a daemon thread; returns the (startable) server handle."""
+    return BackgroundServer(app, host=host, port=port, quiet=quiet)
+
+
+def serve_forever(
+    app: SeeSawApp, host: str = "127.0.0.1", port: int = 8000, quiet: bool = False
+) -> None:
+    """Serve ``app`` on the calling thread until interrupted."""
+    server = SeeSawHTTPServer(app, host=host, port=port, quiet=quiet)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    finally:
+        server.server_close()

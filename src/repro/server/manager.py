@@ -1,0 +1,184 @@
+"""Thread-safe session engine in front of :class:`SeeSawService`.
+
+``SeeSawService`` and ``SearchSession`` are single-threaded by design; the
+HTTP transport (:mod:`repro.server.http`) handles each request on its own
+thread.  The :class:`SessionManager` sits between them and provides:
+
+* **per-session locks** — two requests touching the same session serialize,
+  requests for different sessions proceed in parallel;
+* **double-checked index builds** — two concurrent ``POST /sessions`` for the
+  same not-yet-indexed dataset trigger exactly one build, the second request
+  waits for it instead of duplicating the work;
+* **capacity limiting** — at most ``max_sessions`` live sessions, excess
+  starts fail fast with :class:`ServiceOverloadedError` (HTTP 503);
+* **TTL eviction** — sessions idle longer than ``session_ttl_seconds`` are
+  reaped, so abandoned browser tabs cannot pin memory forever.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.exceptions import ServiceOverloadedError, UnknownResourceError
+from repro.server.api import (
+    FeedbackRequest,
+    NextResultsResponse,
+    SessionInfo,
+    StartSessionRequest,
+)
+from repro.server.service import SeeSawService
+
+
+class SessionManager:
+    """Serializes access to a :class:`SeeSawService` for concurrent callers."""
+
+    def __init__(
+        self,
+        service: SeeSawService,
+        max_sessions: int = 256,
+        session_ttl_seconds: float = 1800.0,
+        clock: "Callable[[], float]" = time.monotonic,
+    ) -> None:
+        self.service = service
+        self.max_sessions = int(max_sessions)
+        self.session_ttl_seconds = float(session_ttl_seconds)
+        self._clock = clock
+        self._registry_lock = threading.Lock()
+        self._session_locks: dict[str, threading.Lock] = {}
+        self._last_used: dict[str, float] = {}
+        self._index_locks: dict[tuple[str, bool], threading.Lock] = {}
+        self._index_locks_guard = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # index builds
+    # ------------------------------------------------------------------
+    def _index_build_lock(self, dataset: str, multiscale: bool) -> threading.Lock:
+        key = (dataset, multiscale)
+        with self._index_locks_guard:
+            lock = self._index_locks.get(key)
+            if lock is None:
+                lock = self._index_locks[key] = threading.Lock()
+            return lock
+
+    def ensure_index(self, dataset: str, multiscale: bool = True) -> None:
+        """Build (or cache-load) an index at most once across threads.
+
+        Classic double-checked locking: the fast path is a lock-free check
+        against the service's in-memory index table; only a miss serializes
+        on the per-(dataset, multiscale) build lock, re-checking inside it.
+        """
+        if self.service.has_index(dataset, multiscale):
+            return
+        with self._index_build_lock(dataset, multiscale):
+            if not self.service.has_index(dataset, multiscale):
+                self.service.index_for(dataset, multiscale)
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    def start_session(self, request: StartSessionRequest) -> SessionInfo:
+        """Start a session; evicts idle sessions and enforces capacity first.
+
+        Cheap request validation and a preliminary capacity check run before
+        ``ensure_index`` so a malformed or 503-destined request never
+        triggers (or waits on) an expensive index build.
+        """
+        self.service.validate_start_request(request)
+        self.evict_expired()
+        self._check_capacity()
+        self.ensure_index(request.dataset, request.multiscale)
+        with self._registry_lock:
+            self._check_capacity_locked()
+            info = self.service.start_session(request)
+            self._session_locks[info.session_id] = threading.Lock()
+            self._last_used[info.session_id] = self._clock()
+            return info
+
+    def _check_capacity(self) -> None:
+        with self._registry_lock:
+            self._check_capacity_locked()
+
+    def _check_capacity_locked(self) -> None:
+        if len(self._session_locks) >= self.max_sessions:
+            raise ServiceOverloadedError(
+                f"Session limit reached ({self.max_sessions} live sessions); "
+                "retry later or close an existing session"
+            )
+
+    def _lock_for(self, session_id: str) -> threading.Lock:
+        with self._registry_lock:
+            lock = self._session_locks.get(session_id)
+            if lock is None:
+                raise UnknownResourceError(f"Unknown session '{session_id}'")
+            return lock
+
+    def _touch(self, session_id: str) -> None:
+        with self._registry_lock:
+            if session_id in self._last_used:
+                self._last_used[session_id] = self._clock()
+
+    def next_results(
+        self, session_id: str, count: "int | None" = None
+    ) -> NextResultsResponse:
+        """Thread-safe :meth:`SeeSawService.next_results`."""
+        with self._lock_for(session_id):
+            response = self.service.next_results(session_id, count)
+        self._touch(session_id)
+        return response
+
+    def give_feedback(self, request: FeedbackRequest) -> SessionInfo:
+        """Thread-safe :meth:`SeeSawService.give_feedback`."""
+        with self._lock_for(request.session_id):
+            info = self.service.give_feedback(request)
+        self._touch(request.session_id)
+        return info
+
+    def session_info(self, session_id: str) -> SessionInfo:
+        """Thread-safe :meth:`SeeSawService.session_info`."""
+        with self._lock_for(session_id):
+            return self.service.session_info(session_id)
+
+    def close_session(self, session_id: str) -> None:
+        """Close a session and release its bookkeeping."""
+        with self._registry_lock:
+            self._session_locks.pop(session_id, None)
+            self._last_used.pop(session_id, None)
+        self.service.close_session(session_id)
+
+    # ------------------------------------------------------------------
+    # eviction and introspection
+    # ------------------------------------------------------------------
+    def evict_expired(self) -> "list[str]":
+        """Close sessions idle longer than the TTL; returns the evicted ids."""
+        now = self._clock()
+        with self._registry_lock:
+            expired = [
+                session_id
+                for session_id, last_used in self._last_used.items()
+                if now - last_used > self.session_ttl_seconds
+            ]
+            for session_id in expired:
+                self._session_locks.pop(session_id, None)
+                self._last_used.pop(session_id, None)
+        for session_id in expired:
+            self.service.close_session(session_id)
+        return expired
+
+    @property
+    def active_session_count(self) -> int:
+        """Number of live (non-evicted) sessions."""
+        with self._registry_lock:
+            return len(self._session_locks)
+
+    def health(self) -> "dict[str, object]":
+        """The payload ``GET /healthz`` returns."""
+        return {
+            "status": "ok",
+            "datasets": list(self.service.dataset_names),
+            "active_sessions": self.active_session_count,
+            "max_sessions": self.max_sessions,
+            "index_cache_hits": self.service.cache_hits,
+            "index_cache_misses": self.service.cache_misses,
+        }

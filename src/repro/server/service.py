@@ -9,6 +9,8 @@ batch, submit feedback.
 from __future__ import annotations
 
 import itertools
+import os
+import threading
 
 from repro.config import MultiscaleConfig, SeeSawConfig
 from repro.core.indexing import SeeSawIndex
@@ -16,7 +18,7 @@ from repro.core.seesaw_method import SeeSawSearchMethod
 from repro.core.session import SearchSession
 from repro.data.dataset import ImageDataset
 from repro.embedding.base import EmbeddingModel
-from repro.exceptions import SessionError
+from repro.exceptions import SessionError, UnknownResourceError
 from repro.server.api import (
     FeedbackRequest,
     NextResultsResponse,
@@ -24,6 +26,7 @@ from repro.server.api import (
     SessionInfo,
     StartSessionRequest,
 )
+from repro.store.cache import IndexCache
 
 
 class SeeSawService:
@@ -33,8 +36,15 @@ class SeeSawService:
         self.config = config or SeeSawConfig()
         self._indexes: dict[tuple[str, bool], SeeSawIndex] = {}
         self._datasets: dict[str, tuple[ImageDataset, EmbeddingModel]] = {}
+        self._caches: dict[str, IndexCache] = {}
         self._sessions: dict[str, SearchSession] = {}
         self._session_counter = itertools.count(1)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Builds for *different* datasets can run concurrently under the
+        # SessionManager's per-dataset locks, so the shared counters need
+        # their own guard.
+        self._counter_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # dataset registry
@@ -44,35 +54,80 @@ class SeeSawService:
         dataset: ImageDataset,
         embedding: EmbeddingModel,
         preprocess: bool = True,
+        cache_dir: "str | os.PathLike[str] | None" = None,
     ) -> None:
-        """Register a dataset; optionally build its multiscale index eagerly."""
+        """Register a dataset; optionally build its multiscale index eagerly.
+
+        When ``cache_dir`` (or ``config.index_cache_dir``) is set, index
+        builds go through an on-disk :class:`~repro.store.IndexCache`: a
+        warm entry is loaded instead of re-embedding the dataset, and fresh
+        builds are persisted for the next process start.
+        """
         self._datasets[dataset.name] = (dataset, embedding)
+        # Re-registering a name must invalidate any index built from the
+        # previous dataset/embedding, or sessions would silently search it.
+        for key in [k for k in self._indexes if k[0] == dataset.name]:
+            del self._indexes[key]
+        effective_cache_dir = cache_dir or self.config.index_cache_dir
+        if effective_cache_dir is not None:
+            self._caches[dataset.name] = IndexCache(effective_cache_dir)
+        else:
+            self._caches.pop(dataset.name, None)
         if preprocess:
-            self._index_for(dataset.name, multiscale=True)
+            self.index_for(dataset.name, multiscale=True)
 
     @property
     def dataset_names(self) -> "tuple[str, ...]":
         """Names of the registered datasets."""
         return tuple(self._datasets)
 
-    def _index_for(self, dataset_name: str, multiscale: bool) -> SeeSawIndex:
+    def has_index(self, dataset_name: str, multiscale: bool = True) -> bool:
+        """True when the index for ``dataset_name`` is already in memory."""
+        return (dataset_name, multiscale) in self._indexes
+
+    def index_for(self, dataset_name: str, multiscale: bool = True) -> SeeSawIndex:
+        """The (lazily built, possibly cache-loaded) index for one dataset."""
         if dataset_name not in self._datasets:
-            raise SessionError(f"Dataset '{dataset_name}' is not registered")
+            raise UnknownResourceError(f"Dataset '{dataset_name}' is not registered")
         key = (dataset_name, multiscale)
         if key not in self._indexes:
             dataset, embedding = self._datasets[dataset_name]
             config = self.config.with_overrides(
                 multiscale=MultiscaleConfig(enabled=multiscale)
             )
-            self._indexes[key] = SeeSawIndex.build(dataset, embedding, config)
+            cache = self._caches.get(dataset_name)
+            if cache is not None:
+                index, was_cached = cache.load_or_build(dataset, embedding, config)
+                with self._counter_lock:
+                    if was_cached:
+                        self.cache_hits += 1
+                    else:
+                        self.cache_misses += 1
+            else:
+                index = SeeSawIndex.build(dataset, embedding, config)
+            self._indexes[key] = index
         return self._indexes[key]
 
     # ------------------------------------------------------------------
     # session lifecycle
     # ------------------------------------------------------------------
+    def validate_start_request(self, request: StartSessionRequest) -> None:
+        """Reject malformed start requests before any expensive work runs."""
+        if request.batch_size < 1:
+            raise SessionError(
+                f"batch_size must be >= 1, got {request.batch_size}"
+            )
+        if not request.text_query or not request.text_query.strip():
+            raise SessionError("text_query must be a non-empty string")
+        if request.dataset not in self._datasets:
+            raise UnknownResourceError(
+                f"Dataset '{request.dataset}' is not registered"
+            )
+
     def start_session(self, request: StartSessionRequest) -> SessionInfo:
         """Start a new interactive search session."""
-        index = self._index_for(request.dataset, request.multiscale)
+        self.validate_start_request(request)
+        index = self.index_for(request.dataset, request.multiscale)
         session = SearchSession(
             index=index,
             method=SeeSawSearchMethod(self.config),
@@ -83,11 +138,16 @@ class SeeSawService:
         self._sessions[session_id] = session
         return self.session_info(session_id)
 
+    @property
+    def session_ids(self) -> "tuple[str, ...]":
+        """Ids of the live sessions."""
+        return tuple(self._sessions)
+
     def _session(self, session_id: str) -> SearchSession:
         try:
             return self._sessions[session_id]
         except KeyError as exc:
-            raise SessionError(f"Unknown session '{session_id}'") from exc
+            raise UnknownResourceError(f"Unknown session '{session_id}'") from exc
 
     def next_results(self, session_id: str, count: "int | None" = None) -> NextResultsResponse:
         """Fetch the next batch of results for a session."""

@@ -1,0 +1,17 @@
+"""Index persistence: serialize built indexes and cache them on disk (§2.4).
+
+Preprocessing is the expensive, once-per-dataset half of SeeSaw's deployment;
+this package makes its outputs durable so a service restart loads them from
+disk instead of re-embedding every image.
+"""
+
+from repro.store.cache import IndexCache
+from repro.store.hashing import index_cache_key
+from repro.store.serialize import load_index, save_index
+
+__all__ = [
+    "IndexCache",
+    "index_cache_key",
+    "load_index",
+    "save_index",
+]

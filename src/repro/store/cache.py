@@ -1,0 +1,101 @@
+"""On-disk index cache: build once, cold-start in milliseconds afterwards.
+
+The cache maps a content hash of (dataset, embedding, config, store kind) to
+a directory holding the serialized index.  A second process pointed at the
+same cache directory loads the preprocessed artifacts from disk instead of
+re-embedding the dataset, which is what lets the HTTP service restart
+quickly (ISSUE: service cold-start).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+
+from repro.config import SeeSawConfig
+from repro.core.indexing import SeeSawIndex
+from repro.data.dataset import ImageDataset
+from repro.embedding.base import EmbeddingModel
+from repro.exceptions import StoreError
+from repro.store.hashing import index_cache_key
+from repro.store.serialize import META_FILE, load_index, save_index
+
+
+class IndexCache:
+    """A directory of serialized indexes keyed by build-content hash."""
+
+    def __init__(self, cache_dir: "str | os.PathLike[str]") -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def key(
+        self,
+        dataset: ImageDataset,
+        embedding: EmbeddingModel,
+        config: SeeSawConfig,
+        store_kind: str = "exact",
+    ) -> str:
+        """The content hash identifying one buildable index."""
+        return index_cache_key(dataset, embedding, config, store_kind)
+
+    def path_for(self, key: str) -> Path:
+        """The directory a given key's artifacts live in."""
+        return self.cache_dir / key[:32]
+
+    def contains(self, key: str) -> bool:
+        """True when a complete entry for ``key`` is on disk."""
+        return (self.path_for(key) / META_FILE).exists()
+
+    def load(
+        self, key: str, dataset: ImageDataset, embedding: EmbeddingModel
+    ) -> "SeeSawIndex | None":
+        """Load the entry for ``key``, or ``None`` when absent or unreadable.
+
+        A corrupt entry is treated as a miss (and removed) so one bad write
+        can never permanently wedge the service start-up path.
+        """
+        if not self.contains(key):
+            return None
+        path = self.path_for(key)
+        try:
+            return load_index(path, dataset, embedding)
+        except StoreError:
+            self.evict(key)
+            return None
+
+    def store(self, key: str, index: SeeSawIndex) -> Path:
+        """Serialize ``index`` under ``key`` and return its directory."""
+        return save_index(index, self.path_for(key))
+
+    def evict(self, key: str) -> None:
+        """Remove the entry for ``key`` if present."""
+        shutil.rmtree(self.path_for(key), ignore_errors=True)
+
+    def entries(self) -> "list[Path]":
+        """Directories of all complete entries currently in the cache."""
+        return sorted(
+            child
+            for child in self.cache_dir.iterdir()
+            if child.is_dir() and (child / META_FILE).exists()
+        )
+
+    def load_or_build(
+        self,
+        dataset: ImageDataset,
+        embedding: EmbeddingModel,
+        config: "SeeSawConfig | None" = None,
+        store_kind: str = "exact",
+        **build_kwargs: object,
+    ) -> "tuple[SeeSawIndex, bool]":
+        """Return ``(index, was_cached)``, building and persisting on a miss."""
+        config = config or SeeSawConfig()
+        key = self.key(dataset, embedding, config, store_kind)
+        cached = self.load(key, dataset, embedding)
+        if cached is not None:
+            return cached, True
+        index = SeeSawIndex.build(
+            dataset, embedding, config, store_kind=store_kind, **build_kwargs
+        )
+        self.store(key, index)
+        return index, False

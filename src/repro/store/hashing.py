@@ -1,0 +1,98 @@
+"""Content hashing: a stable key identifying one buildable index.
+
+The cache key must change whenever the built artifacts would change — a
+different dataset, a different embedding model, or different preprocessing
+configuration — and must stay identical across processes so a second server
+start finds the artifacts the first one wrote.  The key is the SHA-256 of a
+canonical JSON fingerprint of all three inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.config import SeeSawConfig
+from repro.data.dataset import ImageDataset
+from repro.embedding.base import EmbeddingModel
+
+FORMAT_VERSION = 1
+"""Bumped whenever the on-disk layout changes; part of every cache key so
+stale-format entries are simply never matched."""
+
+
+def dataset_fingerprint(dataset: ImageDataset) -> "dict[str, Any]":
+    """A JSON-serializable identity of the dataset content.
+
+    Covers everything the index build reads: image geometry, contexts, and
+    the object annotations the synthetic embedding derives vectors from.
+    """
+    return {
+        "name": dataset.name,
+        "categories": [
+            {
+                "name": info.name,
+                "alignment_deficit": info.alignment_deficit,
+                "locality_noise": info.locality_noise,
+                "frequency": info.frequency,
+            }
+            for info in dataset.categories
+        ],
+        "images": [
+            {
+                "id": image.image_id,
+                "size": [image.width, image.height],
+                "context": image.context,
+                "objects": [
+                    [
+                        instance.category,
+                        instance.instance_id,
+                        instance.distinctiveness,
+                        [
+                            instance.box.x,
+                            instance.box.y,
+                            instance.box.width,
+                            instance.box.height,
+                        ],
+                    ]
+                    for instance in image.objects
+                ],
+            }
+            for image in dataset.images
+        ],
+    }
+
+
+def config_fingerprint(config: SeeSawConfig) -> "dict[str, Any]":
+    """The configuration sections that affect what gets built.
+
+    Runtime-only knobs (loss weights, optimizer settings, task cutoffs, the
+    cache directory itself) are deliberately excluded: changing them must not
+    invalidate the preprocessed artifacts.
+    """
+    full = config.to_dict()
+    return {
+        "embedding_dim": full["embedding_dim"],
+        "seed": full["seed"],
+        "multiscale": full["multiscale"],
+        "knn": full["knn"],
+    }
+
+
+def index_cache_key(
+    dataset: ImageDataset,
+    embedding: EmbeddingModel,
+    config: SeeSawConfig,
+    store_kind: str = "exact",
+) -> str:
+    """The cache key (hex digest) for one (dataset, embedding, config) build."""
+    fingerprint = {
+        "format": FORMAT_VERSION,
+        "store_kind": store_kind,
+        "dataset": dataset_fingerprint(dataset),
+        "embedding": embedding.fingerprint(),
+        "config": config_fingerprint(config),
+    }
+    canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,241 @@
+"""Serialize a built :class:`SeeSawIndex` to disk and load it back.
+
+The expensive preprocessing outputs — patch vectors, kNN graph, DB-alignment
+matrix — are written as one compressed ``.npz``; everything structural
+(records, image→vector mapping, configuration, build report) goes into a
+JSON sidecar.  The dataset and embedding model themselves are *not*
+serialized: they are cheap to recreate deterministically and the loader
+receives live instances, which keeps the on-disk format small and free of
+pickled code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import SeeSawConfig
+from repro.core.indexing import IndexBuildReport, SeeSawIndex
+from repro.data.dataset import ImageDataset
+from repro.data.geometry import BoundingBox
+from repro.embedding.base import EmbeddingModel
+from repro.exceptions import StoreError
+from repro.knng.graph import KnnGraph
+from repro.store.hashing import FORMAT_VERSION
+from repro.vectorstore.base import VectorRecord, VectorStore
+from repro.vectorstore.exact import ExactVectorStore
+from repro.vectorstore.forest import RandomProjectionForest
+
+ARRAYS_FILE = "arrays.npz"
+META_FILE = "index.json"
+
+
+def _store_kind(store: VectorStore) -> str:
+    if isinstance(store, RandomProjectionForest):
+        return "forest"
+    if isinstance(store, ExactVectorStore):
+        return "exact"
+    raise StoreError(f"Cannot serialize vector store of type {type(store).__name__}")
+
+
+def save_index(index: SeeSawIndex, directory: "str | os.PathLike[str]") -> Path:
+    """Write ``index`` under ``directory`` (created if missing).
+
+    The write is atomic at the directory level: files are assembled in a
+    temporary sibling directory first and moved into place with ``os.replace``
+    so a concurrent reader never observes a half-written entry.
+    """
+    target = Path(directory)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    staging = Path(tempfile.mkdtemp(prefix=".staging-", dir=target.parent))
+    try:
+        arrays: dict[str, np.ndarray] = {"vectors": np.asarray(index.store.vectors)}
+        if index.knn_graph is not None:
+            arrays["knn_neighbor_ids"] = index.knn_graph.neighbor_ids
+            arrays["knn_neighbor_weights"] = index.knn_graph.neighbor_weights
+        if index.db_matrix is not None:
+            arrays["db_matrix"] = index.db_matrix
+        np.savez_compressed(staging / ARRAYS_FILE, **arrays)
+
+        report = index.build_report
+        kind = _store_kind(index.store)
+        meta: dict[str, object] = {
+            "format_version": FORMAT_VERSION,
+            "dataset_name": index.dataset.name,
+            "embedding_dim": index.embedding.dim,
+            "store_kind": kind,
+            "config": index.config.to_dict(),
+            "records": [
+                [
+                    record.image_id,
+                    record.box.x,
+                    record.box.y,
+                    record.box.width,
+                    record.box.height,
+                    record.scale_level,
+                ]
+                for record in index.store.records
+            ],
+            # A list of pairs, not an object: JSON objects stringify the keys
+            # and lose the image ordering coarse_vector_ids() relies on.
+            "image_vector_ids": [
+                [image_id, list(index.vector_ids_for_image(image_id))]
+                for image_id in index.image_ids
+            ],
+            "knn_sigma": None if index.knn_graph is None else index.knn_graph.sigma,
+            "build_report": {
+                "dataset_name": report.dataset_name,
+                "image_count": report.image_count,
+                "vector_count": report.vector_count,
+                "embedding_seconds": report.embedding_seconds,
+                "store_seconds": report.store_seconds,
+                "graph_seconds": report.graph_seconds,
+                "multiscale": report.multiscale,
+            },
+        }
+        if kind == "forest":
+            store = index.store
+            assert isinstance(store, RandomProjectionForest)
+            meta["forest"] = {
+                "tree_count": store.tree_count,
+                "leaf_size": store.leaf_size,
+                "seed": store.seed,
+            }
+        (staging / META_FILE).write_text(
+            json.dumps(meta, sort_keys=True), encoding="utf-8"
+        )
+
+        if (target / META_FILE).exists():
+            # Another writer finished first; its entry is equivalent by key.
+            shutil.rmtree(staging, ignore_errors=True)
+        else:
+            if target.exists():
+                # Leftover from an interrupted write; clear it out of the way.
+                shutil.rmtree(target, ignore_errors=True)
+            try:
+                os.replace(staging, target)
+            except OSError:
+                if not (target / META_FILE).exists():
+                    raise
+                shutil.rmtree(staging, ignore_errors=True)
+        return target
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+
+
+def load_index(
+    directory: "str | os.PathLike[str]",
+    dataset: ImageDataset,
+    embedding: EmbeddingModel,
+) -> SeeSawIndex:
+    """Reconstruct a :class:`SeeSawIndex` previously written by :func:`save_index`.
+
+    ``dataset`` and ``embedding`` must be the live instances the index was
+    built from (the cache key guarantees this when loading through
+    :class:`repro.store.cache.IndexCache`); basic identity checks guard
+    against loading mismatched artifacts directly.
+    """
+    source = Path(directory)
+    meta_path = source / META_FILE
+    arrays_path = source / ARRAYS_FILE
+    if not meta_path.exists() or not arrays_path.exists():
+        raise StoreError(f"No serialized index at '{source}'")
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StoreError(f"Corrupt index metadata at '{meta_path}': {exc}") from exc
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise StoreError(
+            f"Index at '{source}' has format version {meta.get('format_version')}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    if meta["dataset_name"] != dataset.name:
+        raise StoreError(
+            f"Index at '{source}' was built for dataset '{meta['dataset_name']}', "
+            f"not '{dataset.name}'"
+        )
+    if meta["embedding_dim"] != embedding.dim:
+        raise StoreError(
+            f"Index at '{source}' stores {meta['embedding_dim']}-d vectors but the "
+            f"embedding model produces {embedding.dim}-d vectors"
+        )
+
+    with np.load(arrays_path) as arrays:
+        vectors = arrays["vectors"]
+        neighbor_ids = arrays["knn_neighbor_ids"] if "knn_neighbor_ids" in arrays else None
+        neighbor_weights = (
+            arrays["knn_neighbor_weights"] if "knn_neighbor_weights" in arrays else None
+        )
+        db_matrix = arrays["db_matrix"] if "db_matrix" in arrays else None
+
+    records = [
+        VectorRecord(
+            vector_id=position,
+            image_id=int(image_id),
+            box=BoundingBox(float(x), float(y), float(width), float(height)),
+            scale_level=int(scale_level),
+        )
+        for position, (image_id, x, y, width, height, scale_level) in enumerate(
+            meta["records"]
+        )
+    ]
+    if len(records) != vectors.shape[0]:
+        raise StoreError(
+            f"Index at '{source}' has {len(records)} records for "
+            f"{vectors.shape[0]} vectors"
+        )
+
+    config = SeeSawConfig.from_dict(meta["config"])
+    kind = meta["store_kind"]
+    if kind == "exact":
+        store: VectorStore = ExactVectorStore(vectors, records)
+    elif kind == "forest":
+        forest_meta = meta.get("forest", {})
+        store = RandomProjectionForest(
+            vectors,
+            records,
+            tree_count=int(forest_meta.get("tree_count", 8)),
+            leaf_size=int(forest_meta.get("leaf_size", 32)),
+            seed=int(forest_meta.get("seed", config.seed)),
+        )
+    else:
+        raise StoreError(f"Index at '{source}' has unknown store kind '{kind}'")
+
+    knn_graph = None
+    if neighbor_ids is not None and neighbor_weights is not None:
+        knn_graph = KnnGraph(
+            neighbor_ids=neighbor_ids,
+            neighbor_weights=neighbor_weights,
+            sigma=float(meta["knn_sigma"]),
+        )
+
+    report_meta = meta["build_report"]
+    report = IndexBuildReport(
+        dataset_name=report_meta["dataset_name"],
+        image_count=int(report_meta["image_count"]),
+        vector_count=int(report_meta["vector_count"]),
+        embedding_seconds=float(report_meta["embedding_seconds"]),
+        store_seconds=float(report_meta["store_seconds"]),
+        graph_seconds=float(report_meta["graph_seconds"]),
+        multiscale=bool(report_meta["multiscale"]),
+    )
+    return SeeSawIndex(
+        dataset=dataset,
+        embedding=embedding,
+        store=store,
+        image_vector_ids={
+            int(image_id): tuple(vector_ids)
+            for image_id, vector_ids in meta["image_vector_ids"]
+        },
+        knn_graph=knn_graph,
+        db_matrix=db_matrix,
+        config=config,
+        build_report=report,
+    )
+

@@ -27,12 +27,13 @@ class ExactVectorStore(VectorStore):
         query = self._check_query(query)
         scores = self._vectors @ query
         if exclude_vector_ids:
-            scores = scores.copy()
             excluded = np.fromiter(
                 (vid for vid in exclude_vector_ids if 0 <= vid < len(self)),
                 dtype=np.int64,
             )
             if excluded.size:
+                # The matmul above allocated a fresh array, so masking
+                # in place is safe — no defensive copy needed.
                 scores[excluded] = -np.inf
         k = min(k, len(self))
         # argpartition gives the top-k in O(n); sort only those k by score.

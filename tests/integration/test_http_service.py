@@ -1,0 +1,150 @@
+"""End-to-end HTTP service test: real sockets, concurrent clients, caching."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import SeeSawConfig
+from repro.exceptions import TransportError, UnknownResourceError
+from repro.server import (
+    FeedbackRequest,
+    SeeSawApp,
+    SeeSawService,
+    ServiceClient,
+    SessionManager,
+    StartSessionRequest,
+    serve_in_background,
+)
+
+
+@pytest.fixture(scope="module")
+def running_server(tiny_dataset, tiny_clip):
+    """An HTTP server on an ephemeral port over the tiny dataset."""
+    service = SeeSawService(SeeSawConfig(embedding_dim=64, seed=7))
+    service.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+    app = SeeSawApp(SessionManager(service))
+    with serve_in_background(app) as server:
+        yield server
+
+
+@pytest.fixture()
+def client(running_server):
+    return ServiceClient(running_server.url)
+
+
+def run_full_session(client: ServiceClient, query: str, rounds: int = 2) -> object:
+    """start → (next → feedback)*rounds → info, through real HTTP."""
+    info = client.start_session(
+        StartSessionRequest(dataset="tiny", text_query=query, batch_size=2)
+    )
+    for _ in range(rounds):
+        batch = client.next_results(info.session_id)
+        assert batch.session_id == info.session_id
+        assert len(batch.items) == 2
+        for item in batch.items:
+            client.give_feedback(
+                FeedbackRequest(
+                    session_id=info.session_id,
+                    image_id=item.image_id,
+                    relevant=False,
+                )
+            )
+    summary = client.session_info(info.session_id)
+    client.close_session(info.session_id)
+    return summary
+
+
+class TestHttpRoundTrip:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["datasets"] == ["tiny"]
+
+    def test_full_session_over_http(self, client):
+        summary = run_full_session(client, "a cat_easy")
+        assert summary.dataset == "tiny"
+        assert summary.total_shown == 4
+        assert summary.rounds == 2
+
+    def test_next_count_query_parameter(self, client):
+        info = client.start_session(
+            StartSessionRequest(dataset="tiny", text_query="a cat_easy", batch_size=1)
+        )
+        batch = client.next_results(info.session_id, count=3)
+        assert len(batch.items) == 3
+        client.close_session(info.session_id)
+
+    def test_two_concurrent_client_threads(self, client, running_server):
+        results: dict[str, object] = {}
+        errors: list[BaseException] = []
+
+        def worker(name: str, query: str) -> None:
+            try:
+                own_client = ServiceClient(running_server.url)
+                results[name] = run_full_session(own_client, query)
+            except BaseException as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=("a", "a cat_easy")),
+            threading.Thread(target=worker, args=("b", "a cat_hard")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        assert {name for name in results} == {"a", "b"}
+        assert all(summary.total_shown == 4 for summary in results.values())
+
+
+class TestHttpErrors:
+    def test_unknown_session_is_404(self, client):
+        with pytest.raises(UnknownResourceError, match="no-such-session"):
+            client.session_info("no-such-session")
+
+    def test_unknown_dataset_is_404(self, client):
+        with pytest.raises(UnknownResourceError, match="not registered"):
+            client.start_session(
+                StartSessionRequest(dataset="missing", text_query="a cat")
+            )
+
+    def test_malformed_body_is_400(self, client):
+        # Bypass the typed client: send a body missing required fields.
+        with pytest.raises(TransportError, match="text_query"):
+            client._request("POST", "/sessions", {"dataset": "tiny"})
+
+    def test_bad_count_is_400(self, client):
+        info = client.start_session(
+            StartSessionRequest(dataset="tiny", text_query="a cat_easy")
+        )
+        with pytest.raises(TransportError, match="count"):
+            client._request("GET", f"/sessions/{info.session_id}/next?count=zero")
+        client.close_session(info.session_id)
+
+    def test_unroutable_path_is_404(self, client):
+        with pytest.raises(UnknownResourceError, match="No route"):
+            client._request("GET", "/nope")
+
+
+class TestServiceCacheOverHttp:
+    def test_second_server_start_hits_disk_cache(self, tiny_dataset, tiny_clip, tmp_path):
+        cache_dir = tmp_path / "cache"
+        config = SeeSawConfig(embedding_dim=64, seed=7, index_cache_dir=str(cache_dir))
+
+        cold = SeeSawService(config)
+        cold.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 1)
+
+        warm = SeeSawService(config)
+        warm.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+
+        app = SeeSawApp(SessionManager(warm))
+        with serve_in_background(app) as server:
+            http = ServiceClient(server.url)
+            assert http.healthz()["index_cache_hits"] == 1
+            summary = run_full_session(http, "a cat_easy", rounds=1)
+            assert summary.total_shown == 2

@@ -1,0 +1,199 @@
+"""SessionManager concurrency semantics: locking, capacity, TTL eviction."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import SeeSawConfig
+from repro.core.indexing import SeeSawIndex
+from repro.exceptions import (
+    ServiceOverloadedError,
+    SessionError,
+    UnknownResourceError,
+)
+from repro.server import (
+    FeedbackRequest,
+    SeeSawService,
+    SessionManager,
+    StartSessionRequest,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def service(tiny_dataset, tiny_clip):
+    service = SeeSawService(SeeSawConfig(embedding_dim=64, seed=7))
+    service.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+    return service
+
+
+def start_request(query: str = "a cat_easy") -> StartSessionRequest:
+    return StartSessionRequest(dataset="tiny", text_query=query, batch_size=2)
+
+
+class TestValidation:
+    def test_bad_batch_size_rejected_up_front(self, service):
+        with pytest.raises(SessionError, match="batch_size"):
+            service.start_session(
+                StartSessionRequest(dataset="tiny", text_query="a cat", batch_size=0)
+            )
+
+    def test_empty_query_rejected_up_front(self, service):
+        with pytest.raises(SessionError, match="text_query"):
+            service.start_session(
+                StartSessionRequest(dataset="tiny", text_query="   ", batch_size=1)
+            )
+
+    def test_reregistering_dataset_invalidates_stale_index(
+        self, tiny_dataset, tiny_clip
+    ):
+        service = SeeSawService(SeeSawConfig(embedding_dim=64, seed=7))
+        service.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+        stale = service.index_for("tiny")
+        service.register_dataset(tiny_dataset, tiny_clip, preprocess=False)
+        assert not service.has_index("tiny")
+        assert service.index_for("tiny") is not stale
+
+    def test_unknown_dataset_is_unknown_resource(self, service):
+        manager = SessionManager(service)
+        with pytest.raises(UnknownResourceError, match="not registered"):
+            manager.start_session(
+                StartSessionRequest(dataset="missing", text_query="a cat")
+            )
+
+
+class TestCapacityAndTtl:
+    def test_capacity_limit(self, service):
+        manager = SessionManager(service, max_sessions=2)
+        manager.start_session(start_request())
+        manager.start_session(start_request())
+        with pytest.raises(ServiceOverloadedError, match="Session limit"):
+            manager.start_session(start_request())
+
+    def test_closing_frees_capacity(self, service):
+        manager = SessionManager(service, max_sessions=1)
+        info = manager.start_session(start_request())
+        manager.close_session(info.session_id)
+        assert manager.active_session_count == 0
+        manager.start_session(start_request())
+
+    def test_idle_sessions_are_evicted(self, service):
+        clock = FakeClock()
+        manager = SessionManager(
+            service, session_ttl_seconds=100.0, clock=clock
+        )
+        stale = manager.start_session(start_request())
+        clock.advance(50.0)
+        fresh = manager.start_session(start_request())
+        clock.advance(60.0)  # stale idle 110s > TTL, fresh idle 60s < TTL
+        evicted = manager.evict_expired()
+        assert evicted == [stale.session_id]
+        assert fresh.session_id in service.session_ids
+        assert stale.session_id not in service.session_ids
+        with pytest.raises(UnknownResourceError):
+            manager.next_results(stale.session_id)
+
+    def test_activity_refreshes_ttl(self, service):
+        clock = FakeClock()
+        manager = SessionManager(service, session_ttl_seconds=100.0, clock=clock)
+        info = manager.start_session(start_request())
+        clock.advance(90.0)
+        manager.next_results(info.session_id)  # touches the session
+        clock.advance(90.0)
+        assert manager.evict_expired() == []
+        assert info.session_id in service.session_ids
+
+    def test_start_session_triggers_eviction(self, service):
+        clock = FakeClock()
+        manager = SessionManager(
+            service, max_sessions=1, session_ttl_seconds=10.0, clock=clock
+        )
+        manager.start_session(start_request())
+        clock.advance(11.0)
+        # At capacity, but the idle session is expired; the start must succeed.
+        manager.start_session(start_request())
+        assert manager.active_session_count == 1
+
+
+class TestConcurrency:
+    def test_index_built_exactly_once_across_threads(
+        self, tiny_dataset, tiny_clip, monkeypatch
+    ):
+        service = SeeSawService(SeeSawConfig(embedding_dim=64, seed=7))
+        service.register_dataset(tiny_dataset, tiny_clip, preprocess=False)
+        manager = SessionManager(service)
+
+        build_calls: list[int] = []
+        original_build = SeeSawIndex.build.__func__
+
+        def counting_build(cls, *args, **kwargs):
+            build_calls.append(1)
+            return original_build(cls, *args, **kwargs)
+
+        monkeypatch.setattr(SeeSawIndex, "build", classmethod(counting_build))
+
+        barrier = threading.Barrier(4)
+        errors: list[BaseException] = []
+
+        def worker() -> None:
+            try:
+                barrier.wait(timeout=10.0)
+                manager.ensure_index("tiny", multiscale=True)
+            except BaseException as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        assert len(build_calls) == 1
+        assert service.has_index("tiny", multiscale=True)
+
+    def test_concurrent_feedback_on_separate_sessions(self, service):
+        manager = SessionManager(service)
+        infos = [manager.start_session(start_request()) for _ in range(4)]
+        errors: list[BaseException] = []
+
+        def drive(session_id: str) -> None:
+            try:
+                for _ in range(2):
+                    batch = manager.next_results(session_id)
+                    for item in batch.items:
+                        manager.give_feedback(
+                            FeedbackRequest(
+                                session_id=session_id,
+                                image_id=item.image_id,
+                                relevant=False,
+                            )
+                        )
+            except BaseException as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(info.session_id,)) for info in infos
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        for info in infos:
+            summary = manager.session_info(info.session_id)
+            assert summary.total_shown == 4
+            assert summary.rounds == 2

@@ -1,0 +1,143 @@
+"""Index serialization and cache tests: save/load identity and keying."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import MultiscaleConfig, SeeSawConfig
+from repro.core.seesaw_method import SeeSawSearchMethod
+from repro.core.session import SearchSession
+from repro.exceptions import StoreError
+from repro.store import IndexCache, index_cache_key, load_index, save_index
+from repro.store.serialize import META_FILE
+
+
+@pytest.fixture(scope="module")
+def saved_index(tiny_index, tiny_dataset, tiny_clip, tmp_path_factory):
+    """The tiny index written to disk once for the whole module."""
+    directory = tmp_path_factory.mktemp("index") / "entry"
+    save_index(tiny_index, directory)
+    return directory
+
+
+class TestSerializeRoundTrip:
+    def test_arrays_survive(self, saved_index, tiny_index, tiny_dataset, tiny_clip):
+        loaded = load_index(saved_index, tiny_dataset, tiny_clip)
+        assert np.allclose(loaded.store.vectors, tiny_index.store.vectors)
+        assert np.array_equal(
+            loaded.knn_graph.neighbor_ids, tiny_index.knn_graph.neighbor_ids
+        )
+        assert np.allclose(
+            loaded.knn_graph.neighbor_weights, tiny_index.knn_graph.neighbor_weights
+        )
+        assert loaded.knn_graph.sigma == tiny_index.knn_graph.sigma
+        assert np.allclose(loaded.db_matrix, tiny_index.db_matrix)
+
+    def test_structure_survives(self, saved_index, tiny_index, tiny_dataset, tiny_clip):
+        loaded = load_index(saved_index, tiny_dataset, tiny_clip)
+        assert loaded.store.records == tiny_index.store.records
+        assert loaded.image_ids == tiny_index.image_ids
+        for image_id in tiny_index.image_ids:
+            assert loaded.vector_ids_for_image(image_id) == (
+                tiny_index.vector_ids_for_image(image_id)
+            )
+        assert loaded.config == tiny_index.config
+        report = loaded.build_report
+        assert report.vector_count == tiny_index.build_report.vector_count
+        assert report.multiscale == tiny_index.build_report.multiscale
+
+    def test_loaded_index_returns_identical_next_batch(
+        self, saved_index, tiny_index, tiny_dataset, tiny_clip
+    ):
+        loaded = load_index(saved_index, tiny_dataset, tiny_clip)
+        query = tiny_dataset.category("cat_hard").prompt
+        batches = []
+        for index in (tiny_index, loaded):
+            session = SearchSession(
+                index=index,
+                method=SeeSawSearchMethod(index.config),
+                text_query=query,
+                batch_size=4,
+            )
+            batch = session.next_batch()
+            batches.append([(r.image_id, round(r.score, 12)) for r in batch])
+        assert batches[0] == batches[1]
+
+    def test_wrong_dataset_rejected(self, saved_index, tiny_dataset, tiny_clip):
+        other = tiny_dataset.subset(tiny_dataset.positive_image_ids("cat_easy"))
+        with pytest.raises(StoreError, match="dataset"):
+            load_index(saved_index, other, tiny_clip)
+
+    def test_missing_entry_rejected(self, tmp_path, tiny_dataset, tiny_clip):
+        with pytest.raises(StoreError, match="No serialized index"):
+            load_index(tmp_path / "nowhere", tiny_dataset, tiny_clip)
+
+    def test_corrupt_meta_rejected(self, tmp_path, tiny_index, tiny_dataset, tiny_clip):
+        directory = tmp_path / "entry"
+        save_index(tiny_index, directory)
+        (directory / META_FILE).write_text("{broken", encoding="utf-8")
+        with pytest.raises(StoreError, match="Corrupt"):
+            load_index(directory, tiny_dataset, tiny_clip)
+
+
+class TestCacheKey:
+    def test_key_is_stable(self, tiny_dataset, tiny_clip):
+        config = SeeSawConfig(embedding_dim=64, seed=7)
+        assert index_cache_key(tiny_dataset, tiny_clip, config) == index_cache_key(
+            tiny_dataset, tiny_clip, config
+        )
+
+    def test_key_changes_with_index_affecting_config(self, tiny_dataset, tiny_clip):
+        config = SeeSawConfig(embedding_dim=64, seed=7)
+        coarse = config.with_overrides(multiscale=MultiscaleConfig(enabled=False))
+        assert index_cache_key(tiny_dataset, tiny_clip, config) != index_cache_key(
+            tiny_dataset, tiny_clip, coarse
+        )
+
+    def test_key_ignores_runtime_only_config(self, tiny_dataset, tiny_clip):
+        config = SeeSawConfig(embedding_dim=64, seed=7)
+        retuned = config.with_overrides(fit_bias=True, index_cache_dir="/elsewhere")
+        assert index_cache_key(tiny_dataset, tiny_clip, config) == index_cache_key(
+            tiny_dataset, tiny_clip, retuned
+        )
+
+    def test_key_changes_with_dataset_content(self, tiny_dataset, tiny_clip):
+        config = SeeSawConfig(embedding_dim=64, seed=7)
+        half = [image.image_id for image in tiny_dataset.images][: len(tiny_dataset) // 2]
+        subset = tiny_dataset.subset(half, name=tiny_dataset.name)
+        assert index_cache_key(tiny_dataset, tiny_clip, config) != index_cache_key(
+            subset, tiny_clip, config
+        )
+
+
+class TestIndexCache:
+    def test_miss_builds_and_persists_then_hits(self, tmp_path, tiny_dataset, tiny_clip):
+        cache = IndexCache(tmp_path / "cache")
+        config = SeeSawConfig(embedding_dim=64, seed=7)
+        built, was_cached = cache.load_or_build(tiny_dataset, tiny_clip, config)
+        assert not was_cached
+        assert len(cache.entries()) == 1
+        loaded, was_cached = cache.load_or_build(tiny_dataset, tiny_clip, config)
+        assert was_cached
+        assert np.allclose(loaded.store.vectors, built.store.vectors)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, tiny_dataset, tiny_clip):
+        cache = IndexCache(tmp_path / "cache")
+        config = SeeSawConfig(embedding_dim=64, seed=7)
+        cache.load_or_build(tiny_dataset, tiny_clip, config)
+        key = cache.key(tiny_dataset, tiny_clip, config)
+        (cache.path_for(key) / META_FILE).write_text("{broken", encoding="utf-8")
+        assert cache.load(key, tiny_dataset, tiny_clip) is None
+        # The broken entry was evicted so the next build can re-persist.
+        assert not cache.contains(key)
+
+    def test_evict(self, tmp_path, tiny_dataset, tiny_clip):
+        cache = IndexCache(tmp_path / "cache")
+        config = SeeSawConfig(embedding_dim=64, seed=7)
+        cache.load_or_build(tiny_dataset, tiny_clip, config)
+        key = cache.key(tiny_dataset, tiny_clip, config)
+        assert cache.contains(key)
+        cache.evict(key)
+        assert not cache.contains(key)
+        assert cache.entries() == []
