@@ -77,7 +77,7 @@ class EnsMethod(SearchMethod):
         self._context = context
         self._graph = context.index.knn_graph
         self._query = context.embed_text(text_query)
-        scores = context.store.vectors @ self._query
+        scores = context.store.score_all(self._query)
         if self.gamma_calibrator is not None:
             self._gamma = np.clip(self.gamma_calibrator(scores), 0.0, 1.0)
         else:
@@ -92,16 +92,22 @@ class EnsMethod(SearchMethod):
             # Warm-up: until the first positive arrives ENS has nothing to
             # learn from, so rank with the zero-shot query (paper, §5.4).
             return context.top_unseen_images(self._query, count, excluded_image_ids)
-        excluded_vectors = context.index.vector_ids_for_images(excluded_image_ids)
+        # Exclusion state is a boolean vector column (engine SeenMask) that
+        # grows incrementally as candidates are chosen, replacing the old
+        # per-round union of vector-id sets.
+        shared = context.mask_for(excluded_image_ids)
+        seen = shared.copy() if shared is not None else context.engine.new_mask()
         results: list[ImageResult] = []
-        chosen_images = set(excluded_image_ids)
         remaining = self._remaining_horizon(len(excluded_image_ids))
+        # The kNN posterior depends only on the accumulated labels, which do
+        # not change while a batch is being assembled — compute it once.
+        probabilities = self._probabilities()
         for _ in range(count):
-            vector_id = self._select_vector(excluded_vectors, remaining)
+            vector_id = self._select_vector(probabilities, seen.vector_seen, remaining)
             if vector_id is None:
                 break
             record = context.store.record(vector_id)
-            probability = self._probabilities(excluded_vectors=set())[vector_id]
+            probability = probabilities[vector_id]
             results.append(
                 ImageResult(
                     image_id=record.image_id,
@@ -110,8 +116,7 @@ class EnsMethod(SearchMethod):
                     box=record.box,
                 )
             )
-            chosen_images.add(record.image_id)
-            excluded_vectors.update(context.index.vector_ids_for_image(record.image_id))
+            seen.mark_images((record.image_id,))
             remaining = max(1, remaining - 1)
         return results
 
@@ -129,7 +134,7 @@ class EnsMethod(SearchMethod):
     # ------------------------------------------------------------------
     # the kNN probability model
     # ------------------------------------------------------------------
-    def _probabilities(self, excluded_vectors: "set[int]") -> np.ndarray:
+    def _probabilities(self) -> np.ndarray:
         """Posterior positive-probability of every vector under the kNN model."""
         graph = self._graph
         gamma = self._gamma
@@ -142,21 +147,21 @@ class EnsMethod(SearchMethod):
             neighbor_ids, weights = graph.neighbors_of(vector_id)
             numerator[neighbor_ids] += weights * label
             denominator[neighbor_ids] += weights
-        probabilities = numerator / denominator
-        if excluded_vectors:
-            excluded = np.fromiter(excluded_vectors, dtype=np.int64, count=len(excluded_vectors))
-            probabilities[excluded] = -np.inf
-        return probabilities
+        return numerator / denominator
 
     def _select_vector(
-        self, excluded_vectors: "set[int]", remaining_horizon: int
+        self,
+        probabilities: np.ndarray,
+        excluded_vector_mask: np.ndarray,
+        remaining_horizon: int,
     ) -> "int | None":
-        """Pick the vector with the highest expected total reward."""
+        """Pick the vector with the highest expected total reward.
+
+        ``excluded_vector_mask`` is a boolean column over the graph's
+        vectors (``True`` = already shown / chosen this batch).
+        """
         graph = self._graph
-        probabilities = self._probabilities(excluded_vectors=set())
-        candidate_mask = np.ones(graph.node_count, dtype=bool)
-        if excluded_vectors:
-            candidate_mask[list(excluded_vectors)] = False
+        candidate_mask = ~excluded_vector_mask[: graph.node_count]
         for vector_id in self._labels:
             if vector_id < graph.node_count:
                 candidate_mask[vector_id] = False

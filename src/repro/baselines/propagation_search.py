@@ -35,39 +35,21 @@ class PropagationMethod(SearchMethod):
             raise SessionError("PropagationMethod requires an index with a kNN graph")
         self._context = context
         self._query = context.embed_text(text_query)
-        raw_scores = context.store.vectors @ self._query
-        self._prior = raw_gamma_from_scores(raw_scores)
+        self._prior = raw_gamma_from_scores(context.store.score_all(self._query))
         self._scores = self._prior.copy()
 
     def next_images(
         self, count: int, excluded_image_ids: "frozenset[int] | set[int]"
     ) -> "list[ImageResult]":
         context = self._require_started()
-        excluded_vectors = context.index.vector_ids_for_images(excluded_image_ids)
-        scores = self._scores.copy()
-        if excluded_vectors:
-            scores[list(excluded_vectors)] = -np.inf
-        order = np.argsort(-scores)
-        results: list[ImageResult] = []
-        seen: set[int] = set(excluded_image_ids)
-        for vector_id in order:
-            if not np.isfinite(scores[vector_id]):
-                break
-            record = context.store.record(int(vector_id))
-            if record.image_id in seen:
-                continue
-            seen.add(record.image_id)
-            results.append(
-                ImageResult(
-                    image_id=record.image_id,
-                    score=float(scores[vector_id]),
-                    vector_id=int(vector_id),
-                    box=record.box,
-                )
-            )
-            if len(results) >= count:
-                break
-        return results
+        # Rank by the propagated per-patch scores: the engine max-pools them
+        # into image scores and argpartitions directly, replacing the old
+        # full argsort + Python regrouping loop (the propagated score of an
+        # image is the max over its patches, same pooling as §4.3).
+        image_ids, scores, vector_ids = context.engine.top_images_from_vector_scores(
+            self._scores, count, context.mask_for(excluded_image_ids)
+        )
+        return context.results_from_arrays(image_ids, scores, vector_ids)
 
     def observe(self, feedback: FeedbackMap) -> None:
         context = self._require_started()

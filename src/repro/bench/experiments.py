@@ -628,6 +628,105 @@ def table6_latency(
 
 
 # ---------------------------------------------------------------------------
+# Table 6 (engine) — legacy object path vs columnar engine, per-round latency
+# ---------------------------------------------------------------------------
+@dataclass
+class EngineLatencyResult:
+    """Per-round latency of the legacy object path vs the columnar engine."""
+
+    rows: "list[dict[str, object]]"
+
+    def format_text(self) -> str:
+        columns = ["legacy_ms", "engine_ms", "speedup"]
+        table_rows = [
+            [row["store"], row["vectors"], row["rounds"]] + [row[c] for c in columns]
+            for row in self.rows
+        ]
+        return format_table(
+            ["store", "vectors", "rounds"] + columns,
+            table_rows,
+            title=(
+                "Table 6 (engine): per-round next-batch latency, "
+                "legacy object path vs columnar engine"
+            ),
+            float_format="{:.3f}",
+        )
+
+
+def table6_engine_latency(
+    bundle: DatasetBundle,
+    rounds: int = 10,
+    batch_size: int = 10,
+    repeats: int = 3,
+    store_kinds: Sequence[str] = ("exact", "forest"),
+) -> EngineLatencyResult:
+    """Measure what the columnar rewrite bought on the round hot path.
+
+    Both measurements drive the same workload — ``rounds`` batches of
+    ``batch_size`` images with the exclusion state growing every round —
+    through the preserved legacy implementation
+    (:func:`repro.engine.legacy.legacy_top_unseen_images`: exclusion id
+    sets, ``SearchHit`` objects, Python regrouping) and through the
+    production engine-backed ``SearchContext`` (persistent ``SeenMask``,
+    ``reduceat`` pooling).  The best of ``repeats`` runs is reported to
+    damp scheduler noise.
+    """
+    import time
+
+    from repro.core.indexing import SeeSawIndex
+    from repro.core.interfaces import SearchContext
+    from repro.engine.legacy import legacy_top_unseen_images
+
+    query = bundle.embedding.embed_text(bundle.queries(ExperimentScale())[0].prompt)
+    rows: list[dict[str, object]] = []
+    for store_kind in store_kinds:
+        if store_kind == "exact":
+            index = bundle.multiscale_index
+        else:
+            index = SeeSawIndex.build(
+                bundle.dataset,
+                bundle.embedding,
+                bundle.config,
+                store_kind=store_kind,
+                build_graph=False,
+            )
+        total_rounds = min(rounds, max(1, len(index.image_ids) // batch_size))
+
+        def run_legacy() -> float:
+            excluded: set[int] = set()
+            start = time.perf_counter()
+            for _ in range(total_rounds):
+                results = legacy_top_unseen_images(index, query, batch_size, excluded)
+                excluded |= {result.image_id for result in results}
+            return (time.perf_counter() - start) / total_rounds
+
+        def run_engine() -> float:
+            context = SearchContext(index)
+            excluded: set[int] = set()
+            start = time.perf_counter()
+            for _ in range(total_rounds):
+                results = context.top_unseen_images(query, batch_size, excluded)
+                shown = [result.image_id for result in results]
+                context.mark_seen(shown)
+                excluded |= set(shown)
+            return (time.perf_counter() - start) / total_rounds
+
+        legacy_seconds = min(run_legacy() for _ in range(repeats))
+        engine_seconds = min(run_engine() for _ in range(repeats))
+        rows.append(
+            {
+                "store": store_kind,
+                "vectors": index.vector_count,
+                "rounds": total_rounds,
+                "legacy_ms": legacy_seconds * 1000.0,
+                "engine_ms": engine_seconds * 1000.0,
+                "speedup": legacy_seconds / max(engine_seconds, 1e-12),
+            }
+        )
+    return EngineLatencyResult(rows=rows)
+
+
+# ---------------------------------------------------------------------------
 # Table 6 (service) — HTTP round-trip latency, warm vs cold index cache
 # ---------------------------------------------------------------------------
 @dataclass

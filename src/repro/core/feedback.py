@@ -138,12 +138,11 @@ class FeedbackMap:
         vectors, labels, vector_ids = self.to_patch_labels(index, min_box_overlap)
         if vector_ids.size == 0:
             return vectors, labels, np.zeros(0), vector_ids
-        weights = np.array(
-            [
-                1.0 / max(1, len(index.vector_ids_for_image(index.store.record(int(vid)).image_id)))
-                for vid in vector_ids
-            ]
-        )
+        # Patch counts come straight from the index's CSR segment columns:
+        # vector id -> image row -> segment length, no per-vector record
+        # lookups or dict walks.
+        segments = index.segments
+        weights = 1.0 / segments.counts[segments.vector_image_rows[vector_ids]]
         return vectors, labels, weights, vector_ids
 
     def to_image_labels(self) -> "dict[int, float]":

@@ -18,6 +18,7 @@ from repro.core.multiscale import generate_patches
 from repro.core.propagation import compute_db_alignment_matrix
 from repro.data.dataset import ImageDataset
 from repro.embedding.base import EmbeddingModel
+from repro.engine import ImageSegments, QueryEngine
 from repro.exceptions import IndexingError
 from repro.knng.graph import KnnGraph, build_knn_graph
 from repro.vectorstore.base import VectorRecord, VectorStore
@@ -60,11 +61,39 @@ class SeeSawIndex:
         self.dataset = dataset
         self.embedding = embedding
         self.store = store
-        self._image_vector_ids = image_vector_ids
+        # The CSR segment layout is the source of truth for the
+        # vector <-> image mapping; the legacy dict interface survives as
+        # adapters (``vector_ids_for_image`` and friends) over it.
+        self.segments = ImageSegments.from_mapping(image_vector_ids, len(store))
         self.knn_graph = knn_graph
         self.db_matrix = db_matrix
         self.config = config
         self.build_report = build_report
+        self._image_ids: "tuple[int, ...] | None" = None
+        self._engine: "QueryEngine | None" = None
+        self._validate_coarse_first()
+
+    def _validate_coarse_first(self) -> None:
+        """Assert that each image's first stored vector is its coarse patch.
+
+        ``coarse_vector_ids()`` (and through it calibration and the
+        coarse-score experiments) reads the first vector id of every segment
+        as the whole-image patch.  The build loop guarantees this because
+        ``generate_patches`` emits the coarse box first; indexes assembled
+        any other way must uphold the same invariant, so it is checked here
+        instead of being silently assumed.  One vectorized comparison over
+        the store's scale-level column, so cache warm-starts stay cheap.
+        """
+        firsts = self.segments.first_vector_ids()
+        offending = firsts[self.store.scale_levels[firsts] != 0]
+        if offending.size:
+            vector_id = int(offending[0])
+            record = self.store.record(vector_id)
+            raise IndexingError(
+                f"Image {record.image_id}: first stored vector {vector_id} "
+                f"is a level-{record.scale_level} patch, expected the coarse "
+                "whole-image patch (scale_level 0) first"
+            )
 
     # ------------------------------------------------------------------
     # construction
@@ -171,18 +200,34 @@ class SeeSawIndex:
 
     @property
     def image_ids(self) -> tuple[int, ...]:
-        """All indexed image ids."""
-        return tuple(self._image_vector_ids)
+        """All indexed image ids, in index (segment-row) order."""
+        if self._image_ids is None:
+            self._image_ids = tuple(int(i) for i in self.segments.image_ids)
+        return self._image_ids
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The (lazily built, cached) array-native query engine."""
+        if self._engine is None:
+            self._engine = QueryEngine(self.store, self.segments)
+        return self._engine
+
+    @property
+    def engine_warmed(self) -> bool:
+        """True once the query engine has been built (without building it)."""
+        return self._engine is not None
 
     def vector_ids_for_image(self, image_id: int) -> tuple[int, ...]:
         """The stored vector ids belonging to one image."""
-        try:
-            return self._image_vector_ids[image_id]
-        except KeyError as exc:
-            raise IndexingError(f"Image {image_id} is not in the index") from exc
+        row = self.segments.row_for_image(image_id)
+        return tuple(int(v) for v in self.segments.vector_ids_for_row(row))
 
     def vector_ids_for_images(self, image_ids: "frozenset[int] | set[int]") -> set[int]:
-        """The union of vector ids for a set of images."""
+        """The union of vector ids for a set of images.
+
+        Legacy adapter; hot paths use :class:`~repro.engine.SeenMask`
+        boolean columns instead of materializing id sets.
+        """
         ids: set[int] = set()
         for image_id in image_ids:
             ids.update(self.vector_ids_for_image(image_id))
@@ -193,10 +238,10 @@ class SeeSawIndex:
         return self.embedding.embed_text(text)
 
     def coarse_vector_ids(self) -> np.ndarray:
-        """Vector ids of the coarse (whole-image) patches, in image order."""
-        ids = [
-            vector_ids[0]
-            for vector_ids in self._image_vector_ids.values()
-            if vector_ids
-        ]
-        return np.asarray(ids, dtype=np.int64)
+        """Vector ids of the coarse (whole-image) patches, in image order.
+
+        This relies on the validated invariant that the first vector of
+        every image segment is its coarse whole-image patch (checked at
+        construction by ``_validate_coarse_first``).
+        """
+        return self.segments.first_vector_ids().copy()

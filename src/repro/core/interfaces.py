@@ -17,8 +17,8 @@ import numpy as np
 from repro.core.feedback import FeedbackMap
 from repro.core.indexing import SeeSawIndex
 from repro.data.geometry import BoundingBox
+from repro.engine import SeenMask
 from repro.exceptions import SessionError
-from repro.vectorstore.exact import ExactVectorStore
 
 
 @dataclass(frozen=True)
@@ -32,10 +32,19 @@ class ImageResult:
 
 
 class SearchContext:
-    """What a search method is allowed to see: the index, never the labels."""
+    """What a search method is allowed to see: the index, never the labels.
+
+    The context is engine-backed: it owns the session's persistent
+    :class:`~repro.engine.SeenMask`, which the session updates incrementally
+    as batches are shown, and adapts the engine's aligned result columns to
+    the public :class:`ImageResult` API.
+    """
 
     def __init__(self, index: SeeSawIndex) -> None:
         self.index = index
+        self.engine = index.engine
+        self.seen_mask = self.engine.new_mask()
+        self._session_exclusions: "set[int] | None" = None
 
     @property
     def store(self):
@@ -52,6 +61,44 @@ class SearchContext:
         return self.index.embed_query(text)
 
     # ------------------------------------------------------------------
+    # seen-state bookkeeping
+    # ------------------------------------------------------------------
+    def mark_seen(self, image_ids: "list[int] | tuple[int, ...]") -> None:
+        """Incrementally mark shown images in the session's persistent mask."""
+        self.seen_mask.mark_images(image_ids)
+
+    def bind_session_exclusions(self, excluded_image_ids: "set[int]") -> None:
+        """Register the session-owned exclusion set.
+
+        The session grows this set and the persistent mask together, so
+        :meth:`mask_for` can recognise it by identity — an O(1) check
+        instead of re-verifying membership of every shown image each round.
+        """
+        self._session_exclusions = excluded_image_ids
+
+    def mask_for(
+        self, excluded_image_ids: "frozenset[int] | set[int]"
+    ) -> "SeenMask | None":
+        """The mask matching an exclusion set — the result is read-only.
+
+        The session's own exclusion set (bound via
+        :meth:`bind_session_exclusions`, the call pattern of every
+        :class:`SearchMethod` driven by ``SearchSession``) resolves to the
+        persistent mask by identity; any other set that happens to equal
+        the seen state reuses it too, and everything else gets an ephemeral
+        mask.  Callers that want to mutate the mask must ``copy()`` it —
+        its public columns reject writes.
+        """
+        if not excluded_image_ids:
+            return None
+        if (
+            excluded_image_ids is self._session_exclusions
+            or self.seen_mask.covers_exactly(excluded_image_ids)
+        ):
+            return self.seen_mask
+        return self.engine.mask_for_images(excluded_image_ids)
+
+    # ------------------------------------------------------------------
     # result selection helpers
     # ------------------------------------------------------------------
     def top_unseen_images(
@@ -63,56 +110,52 @@ class SearchContext:
         """The ``count`` best-scoring unseen images for ``query_vector``.
 
         Patch hits are grouped into images (an image scores the maximum of
-        its patches, §4.3); images already shown are excluded via their
-        stored vector ids so the store lookup does the filtering.
+        its patches, §4.3).  The selection runs entirely in the columnar
+        engine — scores masked once, max-pooled with ``reduceat``, images
+        argpartitioned directly; ``ImageResult`` objects are materialized
+        only for the ``count`` selected images.
         """
         if count < 1:
             raise SessionError("count must be >= 1")
-        excluded_vectors = self.index.vector_ids_for_images(excluded_image_ids)
-        per_image = max(1, round(self.index.vector_count / max(1, len(self.index.image_ids))))
-        k = count * per_image + len(excluded_vectors)
-        results: list[ImageResult] = []
-        while True:
-            k = min(k, self.index.vector_count)
-            hits = self.store.search(query_vector, k=k, exclude_vector_ids=excluded_vectors)
-            results = []
-            seen: set[int] = set()
-            for hit in hits:
-                image_id = hit.record.image_id
-                if image_id in excluded_image_ids or image_id in seen:
-                    continue
-                seen.add(image_id)
-                results.append(
-                    ImageResult(
-                        image_id=image_id,
-                        score=hit.score,
-                        vector_id=hit.vector_id,
-                        box=hit.record.box,
-                    )
-                )
-                if len(results) >= count:
-                    return results
-            if k >= self.index.vector_count:
-                return results
-            k *= 2
+        image_ids, scores, vector_ids = self.engine.top_unseen_arrays(
+            query_vector, count, self.mask_for(excluded_image_ids)
+        )
+        return self.results_from_arrays(image_ids, scores, vector_ids)
 
-    def score_all_images(self, query_vector: np.ndarray) -> "dict[int, float]":
-        """Max-pooled per-image scores over the whole database.
+    def results_from_arrays(
+        self,
+        image_ids: np.ndarray,
+        scores: np.ndarray,
+        vector_ids: np.ndarray,
+    ) -> "list[ImageResult]":
+        """Adapt the engine's aligned columns to ``ImageResult`` objects."""
+        store = self.store
+        return [
+            ImageResult(
+                image_id=int(image_id),
+                score=float(score),
+                vector_id=int(vector_id),
+                box=store.record(int(vector_id)).box,
+            )
+            for image_id, score, vector_id in zip(image_ids, scores, vector_ids)
+        ]
+
+    def score_all_images_array(self, query_vector: np.ndarray) -> np.ndarray:
+        """Max-pooled per-image scores aligned with ``index.segments.image_ids``.
 
         This is a full linear scan; SeeSaw itself avoids it, but baselines
         such as ENS and label propagation need global scores (which is
         precisely the scaling problem Table 6 documents).
         """
-        store = self.store
-        if isinstance(store, ExactVectorStore):
-            scores = store.score_all(query_vector)
-        else:
-            scores = store.vectors @ np.asarray(query_vector, dtype=np.float64)
-        image_scores: dict[int, float] = {}
-        for image_id in self.index.image_ids:
-            vector_ids = np.asarray(self.index.vector_ids_for_image(image_id), dtype=np.int64)
-            image_scores[image_id] = float(scores[vector_ids].max())
-        return image_scores
+        return self.engine.score_all_images(query_vector)
+
+    def score_all_images(self, query_vector: np.ndarray) -> "dict[int, float]":
+        """Legacy dict adapter over :meth:`score_all_images_array`."""
+        scores = self.score_all_images_array(query_vector)
+        return {
+            int(image_id): float(score)
+            for image_id, score in zip(self.index.segments.image_ids, scores)
+        }
 
 
 class SearchMethod(ABC):

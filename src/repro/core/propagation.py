@@ -14,7 +14,6 @@ Two pieces live here:
 from __future__ import annotations
 
 import numpy as np
-from scipy import sparse
 
 from repro.exceptions import IndexingError
 from repro.knng.graph import KnnGraph
@@ -103,11 +102,9 @@ def propagate_labels(
         raise IndexingError("labeled node index out of range")
     labeled_values = np.array([labeled[int(i)] for i in labeled_ids], dtype=np.float64)
 
-    adjacency = graph.adjacency()
-    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
-    degrees[degrees == 0.0] = 1.0
-    inverse_degree = sparse.diags(1.0 / degrees)
-    transition = inverse_degree @ adjacency
+    # The row-normalized D^{-1} W is cached on the graph: the propagation
+    # baseline calls this once per feedback round and must not rebuild it.
+    transition = graph.transition()
 
     scores[labeled_ids] = labeled_values
     for _ in range(iterations):

@@ -43,6 +43,9 @@ class SeeSawSearchMethod(SearchMethod):
     def next_images(
         self, count: int, excluded_image_ids: "frozenset[int] | set[int]"
     ) -> "list[ImageResult]":
+        # The context resolves the exclusion set against the session's
+        # persistent SeenMask and runs the columnar engine lookup (mask,
+        # reduceat max-pool, argpartition) — the per-round hot path.
         context, aligner = self._require_started()
         return context.top_unseen_images(
             aligner.current_query_vector, count, excluded_image_ids

@@ -59,12 +59,18 @@ class SearchSession:
     history: "list[SessionStep]" = field(init=False, default_factory=list)
     stats: SessionStats = field(init=False, default_factory=SessionStats)
     _pending: "dict[int, ImageResult]" = field(init=False, default_factory=dict)
+    _shown_set: "set[int]" = field(init=False, default_factory=set)
     _started: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise SessionError("batch_size must be >= 1")
         self.context = SearchContext(self.index)
+        # The session owns one exclusion set, grown incrementally alongside
+        # the context's SeenMask; binding it lets the context recognise the
+        # session's own exclusions by identity (O(1)) instead of re-walking
+        # the set every round.
+        self.context.bind_session_exclusions(self._shown_set)
         self.method.begin(self.context, self.text_query)
         self._started = True
 
@@ -90,13 +96,18 @@ class SearchSession:
         if self._pending:
             raise SessionError("previous batch still has unlabelled images")
         count = count or self.batch_size
-        excluded = set(self.shown_image_ids)
         start = time.perf_counter()
-        results = self.method.next_images(count, excluded)
+        results = self.method.next_images(count, self._shown_set)
         self.stats.lookup_seconds += time.perf_counter() - start
         for result in results:
             self.history.append(SessionStep(position=len(self.history), result=result))
             self._pending[result.image_id] = result
+        # Keep the exclusion set and the context's persistent SeenMask in
+        # sync incrementally: O(batch) per round instead of re-deriving
+        # exclusion state from the full history.
+        shown = [result.image_id for result in results]
+        self._shown_set.update(shown)
+        self.context.mark_seen(shown)
         return results
 
     def give_feedback(

@@ -1,0 +1,125 @@
+"""Persistent per-session exclusion state.
+
+The legacy hot path rebuilt an exclusion ``set`` of vector ids from every
+shown image on every round — O(shown x patches-per-image) Python work that
+grew with session length.  A :class:`SeenMask` instead keeps two boolean
+columns (one over image rows, one over vectors) that the session marks
+incrementally as batches are shown: per round the update cost is
+O(batch-size) slice assignments, and the engine consumes the masks directly
+with vectorized indexing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.engine.segments import ImageSegments
+
+
+class SeenMask:
+    """Boolean seen/unseen state over one index's images and vectors.
+
+    The public ``image_seen`` / ``vector_seen`` columns are read-only views:
+    a session's mask is shared with every method the session drives
+    (``SearchContext.mask_for`` hands it out), so state changes must go
+    through :meth:`mark_rows` / :meth:`mark_images` — a stray in-place write
+    by a caller raises instead of silently corrupting the session.
+    """
+
+    __slots__ = (
+        "segments",
+        "image_seen",
+        "vector_seen",
+        "_image_seen",
+        "_vector_seen",
+        "_seen_count",
+    )
+
+    def __init__(self, segments: ImageSegments) -> None:
+        self.segments = segments
+        self._image_seen = np.zeros(segments.image_count, dtype=bool)
+        self._vector_seen = np.zeros(segments.vector_count, dtype=bool)
+        self.image_seen = self._image_seen.view()
+        self.image_seen.setflags(write=False)
+        self.vector_seen = self._vector_seen.view()
+        self.vector_seen.setflags(write=False)
+        self._seen_count = 0
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def seen_count(self) -> int:
+        """Number of images marked seen."""
+        return self._seen_count
+
+    @property
+    def unseen_count(self) -> int:
+        """Number of images still unseen."""
+        return self.segments.image_count - self._seen_count
+
+    def is_seen(self, image_id: int) -> bool:
+        """Whether one image has been marked seen."""
+        return bool(self.image_seen[self.segments.row_for_image(image_id)])
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def mark_rows(self, rows: "np.ndarray | Iterable[int]") -> None:
+        """Mark image rows (and all their vectors) as seen."""
+        rows = np.asarray(list(rows) if not isinstance(rows, np.ndarray) else rows)
+        if rows.size == 0:
+            return
+        # Dedupe before filtering: a duplicated row in one call must count
+        # (and mark) once, or seen_count drifts from the column state.
+        rows = np.unique(rows)
+        fresh = rows[~self._image_seen[rows]]
+        if fresh.size == 0:
+            return
+        self._image_seen[fresh] = True
+        self.segments.mark_vector_mask(self._vector_seen, fresh)
+        self._seen_count += int(fresh.size)
+
+    def mark_images(self, image_ids: Iterable[int]) -> None:
+        """Mark image ids (and all their vectors) as seen."""
+        ids = list(image_ids)
+        if ids:
+            self.mark_rows(self.segments.rows_for_images(ids))
+
+    def reset(self) -> None:
+        """Forget everything (start-of-session state)."""
+        self._image_seen[:] = False
+        self._vector_seen[:] = False
+        self._seen_count = 0
+
+    def copy(self) -> "SeenMask":
+        """An independent mask with the same seen state."""
+        clone = SeenMask(self.segments)
+        np.copyto(clone._image_seen, self._image_seen)
+        np.copyto(clone._vector_seen, self._vector_seen)
+        clone._seen_count = self._seen_count
+        return clone
+
+    # ------------------------------------------------------------------
+    # interop with the legacy set-based API
+    # ------------------------------------------------------------------
+    def covers_exactly(self, image_ids: "frozenset[int] | set[int]") -> bool:
+        """True when the seen set is exactly ``image_ids``.
+
+        Lets the engine-backed context reuse the session's persistent mask
+        for the common call pattern (methods pass back precisely the shown
+        images) and fall back to an ephemeral mask otherwise.  Unknown ids
+        simply report ``False`` — the caller then builds its own mask and
+        surfaces the proper error there.
+        """
+        if len(image_ids) != self._seen_count:
+            return False
+        lookup = self.segments._row_by_image
+        seen = self.image_seen
+        for image_id in image_ids:
+            row = lookup.get(int(image_id))
+            if row is None or not seen[row]:
+                return False
+        return True

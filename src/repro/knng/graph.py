@@ -22,7 +22,13 @@ from repro.utils.linalg import normalize_rows
 
 @dataclass
 class KnnGraph:
-    """A weighted, symmetrised k-nearest-neighbour graph."""
+    """A weighted, symmetrised k-nearest-neighbour graph.
+
+    The derived matrices (adjacency, row-normalized transition) are cached
+    after first use: the propagation baseline asks for the transition matrix
+    on every feedback round, and rebuilding ``D^{-1} W`` from the neighbour
+    arrays each time dominated its per-round cost.
+    """
 
     neighbor_ids: np.ndarray
     neighbor_weights: np.ndarray
@@ -33,6 +39,8 @@ class KnnGraph:
             raise IndexingError("neighbor ids and weights must have the same shape")
         if self.neighbor_ids.ndim != 2:
             raise IndexingError("neighbor arrays must be 2-d (count x k)")
+        self._adjacency: "sparse.csr_matrix | None" = None
+        self._transition: "sparse.csr_matrix | None" = None
 
     @property
     def node_count(self) -> int:
@@ -45,18 +53,36 @@ class KnnGraph:
         return self.neighbor_ids.shape[1]
 
     def adjacency(self) -> sparse.csr_matrix:
-        """The symmetrised sparse adjacency matrix ``W``.
+        """The symmetrised sparse adjacency matrix ``W`` (cached).
 
         Symmetrisation takes the maximum of the two directed edge weights so
         the Laplacian is positive semi-definite, the standard construction for
         label propagation.
         """
-        count, k = self.neighbor_ids.shape
-        rows = np.repeat(np.arange(count), k)
-        cols = self.neighbor_ids.ravel()
-        data = self.neighbor_weights.ravel()
-        directed = sparse.csr_matrix((data, (rows, cols)), shape=(count, count))
-        return directed.maximum(directed.T)
+        if self._adjacency is None:
+            count, k = self.neighbor_ids.shape
+            rows = np.repeat(np.arange(count), k)
+            cols = self.neighbor_ids.ravel()
+            data = self.neighbor_weights.ravel()
+            directed = sparse.csr_matrix((data, (rows, cols)), shape=(count, count))
+            self._adjacency = directed.maximum(directed.T)
+        return self._adjacency
+
+    def transition(self) -> sparse.csr_matrix:
+        """The row-normalized transition matrix ``D^{-1} W`` (cached).
+
+        This is the operator one label-propagation sweep applies; isolated
+        nodes (zero degree) keep a zero row, implemented by treating their
+        degree as 1.  Computed once per graph and reused by every
+        ``propagate_labels`` call — i.e. every feedback round of the
+        propagation baseline.
+        """
+        if self._transition is None:
+            adjacency = self.adjacency()
+            degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+            degrees[degrees == 0.0] = 1.0
+            self._transition = sparse.diags(1.0 / degrees) @ adjacency
+        return self._transition
 
     def degree(self, adjacency: "sparse.csr_matrix | None" = None) -> sparse.csr_matrix:
         """The diagonal degree matrix ``D`` (row sums of ``W``)."""

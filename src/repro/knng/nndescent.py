@@ -95,11 +95,16 @@ def nn_descent(
         neighbor_sims[node] = sims[order]
 
     for _ in range(iterations):
-        # Reverse adjacency: who currently lists each node as a neighbour.
-        reverse: list[list[int]] = [[] for _ in range(count)]
-        for node in range(count):
-            for neighbor in neighbor_ids[node]:
-                reverse[int(neighbor)].append(node)
+        # Reverse adjacency (who currently lists each node as a neighbour),
+        # built as a CSR bucketing instead of a Python list-of-lists: the
+        # flattened edge targets are stably sorted once, and each node's
+        # reverse neighbours become one contiguous slice of edge sources.
+        edge_sources = np.repeat(np.arange(count, dtype=np.int64), k)
+        edge_targets = neighbor_ids.ravel()
+        by_target = np.argsort(edge_targets, kind="stable")
+        reverse_sources = edge_sources[by_target]
+        reverse_offsets = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(np.bincount(edge_targets, minlength=count), out=reverse_offsets[1:])
         updates = 0
         for node in range(count):
             forward = neighbor_ids[node]
@@ -110,8 +115,14 @@ def nn_descent(
             for neighbor in forward:
                 neighbor = int(neighbor)
                 candidate_pool.update(int(x) for x in neighbor_ids[neighbor])
-                candidate_pool.update(reverse[neighbor])
-            candidate_pool.update(reverse[node])
+                candidate_pool.update(
+                    reverse_sources[
+                        reverse_offsets[neighbor] : reverse_offsets[neighbor + 1]
+                    ].tolist()
+                )
+            candidate_pool.update(
+                reverse_sources[reverse_offsets[node] : reverse_offsets[node + 1]].tolist()
+            )
             candidate_pool.discard(node)
             candidate_pool.difference_update(int(x) for x in neighbor_ids[node])
             if not candidate_pool:

@@ -181,4 +181,8 @@ class SessionManager:
             "max_sessions": self.max_sessions,
             "index_cache_hits": self.service.cache_hits,
             "index_cache_misses": self.service.cache_misses,
+            # One columnar query engine per in-memory index, shared by all
+            # sessions on that dataset; per-session state is only the
+            # SeenMask each session's context holds across HTTP rounds.
+            "cached_engines": self.service.cached_engine_count,
         }

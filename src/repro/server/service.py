@@ -105,8 +105,18 @@ class SeeSawService:
                         self.cache_misses += 1
             else:
                 index = SeeSawIndex.build(dataset, embedding, config)
+            # Warm the columnar query engine now (segment offsets, id
+            # columns): it is cached on the index, so every session on this
+            # dataset shares one engine instead of paying a first-round
+            # build under a request.
+            index.engine
             self._indexes[key] = index
         return self._indexes[key]
+
+    @property
+    def cached_engine_count(self) -> int:
+        """Number of in-memory indexes with a warmed query engine."""
+        return sum(1 for index in self._indexes.values() if index.engine_warmed)
 
     # ------------------------------------------------------------------
     # session lifecycle

@@ -46,6 +46,13 @@ class SearchHit:
 class VectorStore(ABC):
     """Maximum-inner-product lookup over a fixed set of unit vectors."""
 
+    exhaustive: bool = False
+    """True when every query scores every stored vector (exact scan).
+
+    The query engine full-scans exhaustive stores (mask + pool once, no
+    retries) and drives candidate gathering for approximate ones.
+    """
+
     def __init__(self, vectors: np.ndarray, records: "list[VectorRecord]") -> None:
         vectors = np.asarray(vectors, dtype=np.float64)
         if vectors.ndim != 2:
@@ -56,13 +63,17 @@ class VectorStore(ABC):
             raise VectorStoreError(
                 f"record count {len(records)} does not match vector count {vectors.shape[0]}"
             )
+        scale_levels = np.empty(len(records), dtype=np.int8)
         for position, record in enumerate(records):
             if record.vector_id != position:
                 raise VectorStoreError(
                     "records must be ordered so record.vector_id equals its row index"
                 )
+            scale_levels[position] = record.scale_level
+        scale_levels.setflags(write=False)
         self._vectors = normalize_rows(vectors)
         self._records = list(records)
+        self._scale_levels = scale_levels
 
     # ------------------------------------------------------------------
     # shared accessors
@@ -86,6 +97,16 @@ class VectorStore(ABC):
     def records(self) -> "tuple[VectorRecord, ...]":
         """All metadata records in vector-id order."""
         return tuple(self._records)
+
+    @property
+    def scale_levels(self) -> np.ndarray:
+        """Per-vector multiscale level as an int8 column (read-only).
+
+        Built during record validation at construction, so bulk level
+        checks (e.g. the coarse-first index invariant) are one vectorized
+        comparison instead of per-record attribute access.
+        """
+        return self._scale_levels
 
     def record(self, vector_id: int) -> VectorRecord:
         """Metadata for one stored vector."""
@@ -114,10 +135,47 @@ class VectorStore(ABC):
             for vid, score in zip(ids, scores)
         ]
 
+    def _mask_from_ids(self, exclude_vector_ids: "set[int] | None") -> "np.ndarray | None":
+        """Boolean exclusion mask from a legacy id set (out-of-range ids dropped)."""
+        if not exclude_vector_ids:
+            return None
+        valid = np.fromiter(
+            (vid for vid in exclude_vector_ids if 0 <= vid < len(self)),
+            dtype=np.int64,
+        )
+        if not valid.size:
+            return None
+        mask = np.zeros(len(self), dtype=bool)
+        mask[valid] = True
+        return mask
+
     # ------------------------------------------------------------------
     # interface
     # ------------------------------------------------------------------
     @abstractmethod
+    def search_arrays(
+        self,
+        query: np.ndarray,
+        k: int,
+        exclude_mask: "np.ndarray | None" = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Array-native top-``k``: aligned ``(vector_ids, scores)``, best first.
+
+        ``exclude_mask`` is an optional boolean column over the stored
+        vectors (``True`` = excluded).  This is the hot-path entry point the
+        query engine drives each round; no per-hit objects are created.
+        """
+
+    def score_all(self, query: np.ndarray) -> np.ndarray:
+        """Inner product of ``query`` with every stored vector.
+
+        The engine's bulk-scoring kernel; also pays the deliberate
+        linear-scan cost of the global baselines (ENS, label propagation)
+        the paper contrasts SeeSaw against.
+        """
+        query = self._check_query(query)
+        return self._vectors @ query
+
     def search(
         self,
         query: np.ndarray,
@@ -128,5 +186,10 @@ class VectorStore(ABC):
 
         ``exclude_vector_ids`` removes already-inspected vectors from
         consideration, which is how the interactive loop avoids re-showing
-        images the user has already labelled.
+        images the user has already labelled.  This is the legacy hit-object
+        API, kept as a thin adapter over :meth:`search_arrays`.
         """
+        ids, scores = self.search_arrays(
+            query, k, exclude_mask=self._mask_from_ids(exclude_vector_ids)
+        )
+        return self._hits_from_ids(ids, scores)

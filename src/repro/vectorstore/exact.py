@@ -2,7 +2,8 @@
 
 The paper notes that an exact scan is the accuracy reference Annoy is
 compared against (§2.2); it is also the store used in most tests because its
-results are unambiguous.
+results are unambiguous.  The array-native :meth:`search_arrays` is the real
+kernel; the legacy hit-object ``search`` is the base-class adapter over it.
 """
 
 from __future__ import annotations
@@ -10,43 +11,31 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import VectorStoreError
-from repro.vectorstore.base import SearchHit, VectorStore
+from repro.vectorstore.base import VectorStore
 
 
 class ExactVectorStore(VectorStore):
     """Brute-force inner-product search over all stored vectors."""
 
-    def search(
+    exhaustive = True
+
+    def search_arrays(
         self,
         query: np.ndarray,
         k: int,
-        exclude_vector_ids: "set[int] | None" = None,
-    ) -> "list[SearchHit]":
+        exclude_mask: "np.ndarray | None" = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
         if k < 1:
             raise VectorStoreError(f"k must be >= 1, got {k}")
         query = self._check_query(query)
         scores = self._vectors @ query
-        if exclude_vector_ids:
-            excluded = np.fromiter(
-                (vid for vid in exclude_vector_ids if 0 <= vid < len(self)),
-                dtype=np.int64,
-            )
-            if excluded.size:
-                # The matmul above allocated a fresh array, so masking
-                # in place is safe — no defensive copy needed.
-                scores[excluded] = -np.inf
+        if exclude_mask is not None:
+            # The matmul above allocated a fresh array, so masking in place
+            # is safe — no defensive copy needed.
+            scores[exclude_mask] = -np.inf
         k = min(k, len(self))
         # argpartition gives the top-k in O(n); sort only those k by score.
         top = np.argpartition(-scores, k - 1)[:k]
         top = top[np.argsort(-scores[top])]
         top = top[np.isfinite(scores[top])]
-        return self._hits_from_ids(top, scores[top])
-
-    def score_all(self, query: np.ndarray) -> np.ndarray:
-        """Inner product of ``query`` with every stored vector.
-
-        Exposed for baselines (ENS, label propagation) that intentionally pay
-        the linear-scan cost the paper contrasts SeeSaw against.
-        """
-        query = self._check_query(query)
-        return self._vectors @ query
+        return top, scores[top]

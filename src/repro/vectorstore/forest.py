@@ -115,6 +115,29 @@ class RandomProjectionForest(VectorStore):
     # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
+    def search_arrays(
+        self,
+        query: np.ndarray,
+        k: int,
+        exclude_mask: "np.ndarray | None" = None,
+        search_k: "int | None" = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        if k < 1:
+            raise VectorStoreError(f"k must be >= 1, got {k}")
+        query = self._check_query(query)
+        excluded_count = 0 if exclude_mask is None else int(np.count_nonzero(exclude_mask))
+        # Over-fetch candidates so exclusions do not starve the result list.
+        budget = search_k if search_k is not None else max(64, self.tree_count * k * 8)
+        budget += excluded_count
+        candidates = self._candidates(query, budget)
+        if excluded_count and candidates.size:
+            candidates = candidates[~exclude_mask[candidates]]
+        if candidates.size == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0)
+        scores = self._vectors[candidates] @ query
+        order = np.argsort(-scores)[:k]
+        return candidates[order], scores[order]
+
     def search(
         self,
         query: np.ndarray,
@@ -122,23 +145,14 @@ class RandomProjectionForest(VectorStore):
         exclude_vector_ids: "set[int] | None" = None,
         search_k: "int | None" = None,
     ) -> "list[SearchHit]":
-        if k < 1:
-            raise VectorStoreError(f"k must be >= 1, got {k}")
-        query = self._check_query(query)
-        excluded = exclude_vector_ids or set()
-        # Over-fetch candidates so exclusions do not starve the result list.
-        budget = search_k if search_k is not None else max(64, self.tree_count * k * 8)
-        budget += len(excluded)
-        candidates = self._candidates(query, budget)
-        if excluded:
-            candidates = np.array(
-                [vid for vid in candidates if vid not in excluded], dtype=np.int64
-            )
-        if candidates.size == 0:
-            return []
-        scores = self._vectors[candidates] @ query
-        order = np.argsort(-scores)[:k]
-        return self._hits_from_ids(candidates[order], scores[order])
+        """Legacy hit-object adapter; forwards the ``search_k`` budget knob."""
+        ids, scores = self.search_arrays(
+            query,
+            k,
+            exclude_mask=self._mask_from_ids(exclude_vector_ids),
+            search_k=search_k,
+        )
+        return self._hits_from_ids(ids, scores)
 
     def _candidates(self, query: np.ndarray, budget: int) -> np.ndarray:
         """Gather candidate vector ids from all trees with a margin-ordered queue."""
