@@ -148,10 +148,30 @@ class SeeSawConfig:
     """When set, built indexes are persisted under this directory (keyed by a
     content hash of dataset + embedding + config) and loaded back on the next
     start instead of being re-embedded.  See :mod:`repro.store`."""
+    n_shards: int = 1
+    """Number of image-aligned shards the service partitions each index's
+    vector store into (``repro.vectorstore.sharded``).  Shards score on a
+    thread pool (NumPy kernels release the GIL) and merge into an exact,
+    bit-identical global top-k; ``1`` keeps the flat store.  A runtime
+    topology knob: it does not change what gets built, so it is excluded
+    from the index-cache key and can vary per deployment."""
+    batch_window_ms: float = 0.0
+    """Width (milliseconds) of the request-coalescing window for ``/next``.
+    When positive, the :class:`~repro.server.manager.SessionManager` gathers
+    concurrent next-batch requests arriving within the window and dispatches
+    them through the fused :class:`~repro.engine.batch.BatchQueryEngine` —
+    one GEMM for the whole cohort instead of one matvec per session.  ``0``
+    disables coalescing (every request dispatches immediately)."""
 
     def __post_init__(self) -> None:
         if self.embedding_dim < 2:
             raise ConfigurationError("embedding_dim must be >= 2")
+        if self.n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.batch_window_ms < 0:
+            raise ConfigurationError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "SeeSawConfig":
         """Return a copy with the given top-level fields replaced."""
@@ -196,6 +216,8 @@ class SeeSawConfig:
             "target_results": self.task.target_results,
             "max_images": self.task.max_images,
             "seed": self.seed,
+            "n_shards": self.n_shards,
+            "batch_window_ms": self.batch_window_ms,
         }
 
 

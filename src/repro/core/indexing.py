@@ -18,7 +18,7 @@ from repro.core.multiscale import generate_patches
 from repro.core.propagation import compute_db_alignment_matrix
 from repro.data.dataset import ImageDataset
 from repro.embedding.base import EmbeddingModel
-from repro.engine import ImageSegments, QueryEngine
+from repro.engine import BatchQueryEngine, ImageSegments, QueryEngine
 from repro.exceptions import IndexingError
 from repro.knng.graph import KnnGraph, build_knn_graph
 from repro.vectorstore.base import VectorRecord, VectorStore
@@ -71,6 +71,7 @@ class SeeSawIndex:
         self.build_report = build_report
         self._image_ids: "tuple[int, ...] | None" = None
         self._engine: "QueryEngine | None" = None
+        self._batch_engine: "BatchQueryEngine | None" = None
         self._validate_coarse_first()
 
     def _validate_coarse_first(self) -> None:
@@ -213,9 +214,34 @@ class SeeSawIndex:
         return self._engine
 
     @property
+    def batch_engine(self) -> BatchQueryEngine:
+        """The (lazily built, cached) fused multi-session batch engine."""
+        if self._batch_engine is None:
+            self._batch_engine = BatchQueryEngine(self.engine)
+        return self._batch_engine
+
+    @property
     def engine_warmed(self) -> bool:
         """True once the query engine has been built (without building it)."""
         return self._engine is not None
+
+    def replace_store(self, store: VectorStore) -> None:
+        """Swap the vector store (e.g. for a sharded topology of the same data).
+
+        The replacement must cover the same vectors: the segment layout,
+        masks, and any engine built later all key off vector ids, so a store
+        of a different size would silently corrupt every lookup.  Cached
+        engines are dropped — they hold a reference to the old store.
+        """
+        if len(store) != self.segments.vector_count:
+            raise IndexingError(
+                f"replacement store holds {len(store)} vectors, index covers "
+                f"{self.segments.vector_count}"
+            )
+        self.store = store
+        self._engine = None
+        self._batch_engine = None
+        self._validate_coarse_first()
 
     def vector_ids_for_image(self, image_id: int) -> tuple[int, ...]:
         """The stored vector ids belonging to one image."""

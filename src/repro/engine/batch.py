@@ -1,0 +1,119 @@
+"""Fused multi-session batch scoring: Q rounds in one kernel call.
+
+A single interactive round is one matvec, one mask, one ``reduceat``, one
+``argpartition``.  When Q sessions on the same index ask for their next
+batch at (almost) the same time — the load profile the paper's "millions of
+users" deployment faces — running Q sequential rounds wastes both kernel
+launches and memory bandwidth: each round re-streams the same vector matrix.
+
+:class:`BatchQueryEngine` instead stacks the Q session query vectors into a
+``(Q x d)`` matrix and runs
+
+* **one GEMM** — ``store.score_many`` computes the full ``(Q x vectors)``
+  score matrix in a single BLAS call (per-shard GEMMs on a sharded store);
+* **one pooled reduceat** — ``segments.pool_max_batch`` max-pools all Q rows
+  into per-image scores at once;
+* **per-row selection** — each session's :class:`~repro.engine.mask.SeenMask`
+  is applied to its own row only, then the ordinary per-round selection
+  (argpartition, deterministic tie-break, best-vector lookup) runs on it.
+
+Per-session isolation is structural: session q's mask touches only row q,
+so no session can leak seen-state — or results — into another's row.  The
+selected ids match Q sequential :class:`~repro.engine.engine.QueryEngine`
+rounds exactly; scores agree to last-bit rounding (GEMM blocks the reduction
+differently from the row-wise kernel), which the property suite pins.
+
+Approximate (non-exhaustive) stores have no full score matrix to fuse, so
+the engine transparently falls back to sequential candidate search per
+session — same results, no fusion.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.engine import QueryEngine
+from repro.engine.mask import SeenMask
+from repro.exceptions import SessionError, VectorStoreError
+
+BatchSelection = "tuple[np.ndarray, np.ndarray, np.ndarray]"
+
+
+class BatchQueryEngine:
+    """Scores many sessions' rounds against one index in fused kernels."""
+
+    __slots__ = ("engine",)
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self.engine = engine
+
+    @property
+    def store(self):
+        """The underlying vector store."""
+        return self.engine.store
+
+    @property
+    def segments(self):
+        """The underlying CSR image-segment layout."""
+        return self.engine.segments
+
+    def top_unseen_batch(
+        self,
+        queries: np.ndarray,
+        counts: "Sequence[int] | int",
+        masks: "Sequence[SeenMask | None]",
+    ) -> "list[tuple[np.ndarray, np.ndarray, np.ndarray]]":
+        """The next batch for each of Q sessions, in one fused pass.
+
+        Parameters
+        ----------
+        queries:
+            ``(Q x d)`` matrix, one session query vector per row.
+        counts:
+            Images wanted per session (an int broadcasts to all rows).
+        masks:
+            Each session's seen-state, aligned with the query rows (``None``
+            rows mean nothing seen).  Masks are read, never written — the
+            session layer marks results seen after showing them.
+
+        Returns one ``(image_ids, image_scores, best_vector_ids)`` triple
+        per session, best first, exactly as
+        :meth:`QueryEngine.top_unseen_arrays` would return for that
+        session alone.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.ndim != 2:
+            raise VectorStoreError("queries must be a (sessions x dim) matrix")
+        session_count = queries.shape[0]
+        if isinstance(counts, (int, np.integer)):
+            counts = [int(counts)] * session_count
+        if len(counts) != session_count:
+            raise SessionError(
+                f"{session_count} queries but {len(counts)} counts"
+            )
+        if len(masks) != session_count:
+            raise SessionError(
+                f"{session_count} queries but {len(masks)} masks"
+            )
+        if any(count < 1 for count in counts):
+            raise SessionError("count must be >= 1")
+        if session_count == 0:
+            return []
+        engine = self.engine
+        if not engine.store.exhaustive:
+            # No full score matrix to fuse over a candidate store; the
+            # sequential per-session path returns identical results.
+            return [
+                engine.top_unseen_arrays(queries[row], counts[row], masks[row])
+                for row in range(session_count)
+            ]
+        vector_scores = engine.store.score_many(queries)
+        image_scores = engine.segments.pool_max_batch(vector_scores)
+        return [
+            engine.select_pooled(
+                image_scores[row], vector_scores[row], counts[row], masks[row]
+            )
+            for row in range(session_count)
+        ]

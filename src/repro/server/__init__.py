@@ -19,6 +19,7 @@ from repro.server.api import (
     StartSessionRequest,
 )
 from repro.server.app import SeeSawApp
+from repro.server.batching import NextBatchCoalescer
 from repro.server.client import ServiceClient
 from repro.server.http import (
     BackgroundServer,
@@ -33,6 +34,7 @@ __all__ = [
     "SeeSawService",
     "SessionManager",
     "SeeSawApp",
+    "NextBatchCoalescer",
     "ServiceClient",
     "SeeSawHTTPServer",
     "BackgroundServer",

@@ -9,6 +9,7 @@ Endpoints
 ---------
 ``GET  /healthz``                    liveness + registry summary
 ``POST /sessions``                   start a session (StartSessionRequest body)
+``POST /sessions/batch-next``        fused next batches for many sessions
 ``GET  /sessions/{id}``              session progress summary
 ``GET  /sessions/{id}/next``         next result batch (optional ``?count=N``)
 ``POST /sessions/{id}/feedback``     submit feedback (FeedbackRequest body)
@@ -26,8 +27,10 @@ from repro.exceptions import (
     UnknownResourceError,
 )
 from repro.server.codec import (
+    decode_batch_next_request,
     decode_feedback_request,
     decode_start_session_request,
+    encode_batch_next_response,
     encode_next_results_response,
     encode_session_info,
     parse_json,
@@ -86,6 +89,13 @@ class SeeSawApp:
             request = decode_start_session_request(parse_json(body))
             info = self.manager.start_session(request)
             return 201, encode_session_info(info)
+
+        if segments == ["sessions", "batch-next"] and method == "POST":
+            entries = decode_batch_next_request(parse_json(body))
+            outcomes = self.manager.batch_next(entries)
+            # Always 200: per-session failures ride inside the envelope so
+            # one bad session id cannot fail the rest of the cohort.
+            return 200, encode_batch_next_response(outcomes)
 
         if len(segments) == 2 and segments[0] == "sessions":
             session_id = segments[1]

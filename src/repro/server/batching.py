@@ -1,0 +1,202 @@
+"""Request coalescing: gather concurrent ``/next`` calls into one cohort.
+
+The HTTP transport gives every in-flight request its own thread.  Without
+coalescing, N concurrent next-batch requests run N sequential engine rounds
+(each serialized on its own session lock but each paying a full kernel
+dispatch).  The :class:`NextBatchCoalescer` turns that thundering herd into
+cohorts: the first arriving request becomes the *leader*, sleeps for the
+configured window while followers enqueue behind it, then dispatches the
+whole cohort through one call (``SessionManager._dispatch_batch`` → fused
+:class:`~repro.engine.batch.BatchQueryEngine` scoring) and hands each waiter
+its own result — or its own error, so a 404 for one session never fails the
+cohort.
+
+The added latency is bounded by the window (a few milliseconds); the win is
+one GEMM and one pooled ``reduceat`` for the cohort instead of per-session
+kernel dispatches, which is what keeps per-session latency flat as
+concurrency grows (Table 6's scaling row).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence
+
+from repro.exceptions import ServiceOverloadedError
+
+DispatchFn = Callable[
+    ["list[tuple[str, int | None]]"], "Sequence[object]"
+]
+
+
+_PROMOTED = object()
+"""Sentinel outcome: the waiter must take over leadership, not return."""
+
+
+class _PendingRequest:
+    """One waiter: its request, a wakeup event, and its eventual outcome."""
+
+    __slots__ = ("session_id", "count", "event", "outcome")
+
+    def __init__(self, session_id: str, count: "int | None") -> None:
+        self.session_id = session_id
+        self.count = count
+        self.event = threading.Event()
+        self.outcome: object = None
+
+
+class NextBatchCoalescer:
+    """Batches concurrent next-requests within a small time window."""
+
+    def __init__(
+        self,
+        dispatch: DispatchFn,
+        window_seconds: float,
+        max_batch_size: int = 64,
+        wait_timeout_seconds: float = 60.0,
+    ) -> None:
+        if window_seconds < 0:
+            raise ValueError("window_seconds must be >= 0")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self._dispatch = dispatch
+        self.window_seconds = float(window_seconds)
+        self.max_batch_size = int(max_batch_size)
+        self.wait_timeout_seconds = float(wait_timeout_seconds)
+        self._lock = threading.Lock()
+        self._queue: "list[_PendingRequest]" = []
+        self._leader_active = False
+        # Telemetry (read by /healthz): how much coalescing actually happens.
+        self.batches_dispatched = 0
+        self.requests_coalesced = 0
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------
+    # the one public entry point
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, count: "int | None" = None) -> object:
+        """Enqueue one request; block until its cohort is dispatched.
+
+        Returns the request's own result, or raises its own exception —
+        per-request failures never propagate to other cohort members.
+
+        Leadership is one cohort at a time: the leader sleeps out the
+        window, dispatches the first ``max_batch_size`` queued entries, and
+        hands leadership to the oldest remaining waiter (promotion) instead
+        of looping — so under sustained traffic no thread's own response is
+        withheld while it services other people's cohorts.
+        """
+        entry = _PendingRequest(session_id, count)
+        with self._lock:
+            self._queue.append(entry)
+            is_leader = not self._leader_active
+            if is_leader:
+                self._leader_active = True
+        while True:
+            if is_leader:
+                self._lead_one_cohort()
+                is_leader = False
+                # Our own entry was almost always in that cohort (FIFO); if
+                # a long backlog pushed it out, fall through and wait like
+                # any follower.
+                continue
+            if not entry.event.wait(timeout=self.wait_timeout_seconds):
+                timed_out, promoted = self._abandon(entry)
+                if promoted:
+                    is_leader = True
+                    continue
+                if timed_out:
+                    # Still queued, never dispatched: safe to fail fast —
+                    # the session's state was not advanced.
+                    raise ServiceOverloadedError(
+                        "Timed out waiting for the batch scheduler; retry"
+                    )
+                # In flight: the round *will* run (the cohort runner always
+                # sets outcomes, even when dispatch raises), so wait it out
+                # rather than abandoning a round that advances the session.
+                if not entry.event.wait(timeout=self.wait_timeout_seconds):
+                    raise ServiceOverloadedError(
+                        "Batch dispatch wedged past two timeout windows"
+                    )
+            outcome = entry.outcome
+            if outcome is _PROMOTED:
+                # Oldest waiter takes over leadership; its own entry is
+                # still queued and rides in the cohort it now dispatches.
+                entry.event.clear()
+                entry.outcome = None
+                is_leader = True
+                continue
+            if isinstance(outcome, BaseException):
+                raise outcome
+            return outcome
+
+    def _abandon(self, entry: _PendingRequest) -> "tuple[bool, bool]":
+        """Try to withdraw a timed-out entry; returns (withdrawn, promoted).
+
+        Races with the leader are settled under the lock: if the entry was
+        already drained into a cohort it cannot be withdrawn (its round will
+        run), and a promotion that landed just as the wait timed out is
+        honored instead of dropped — otherwise leadership would be lost and
+        every queued waiter stranded.
+        """
+        with self._lock:
+            if entry.outcome is _PROMOTED:
+                entry.event.clear()
+                entry.outcome = None
+                return False, True
+            if entry.event.is_set():
+                return False, False  # outcome arrived as we timed out
+            try:
+                self._queue.remove(entry)
+            except ValueError:
+                return False, False  # already in a cohort, in flight
+            return True, False
+
+    # ------------------------------------------------------------------
+    # leader protocol
+    # ------------------------------------------------------------------
+    def _lead_one_cohort(self) -> None:
+        """Sleep out the window, dispatch one cohort, hand off leadership."""
+        if self.window_seconds > 0:
+            time.sleep(self.window_seconds)
+        with self._lock:
+            cohort = self._queue[: self.max_batch_size]
+            del self._queue[: self.max_batch_size]
+        if cohort:
+            self._run_cohort(cohort)
+        with self._lock:
+            if self._queue:
+                # Promote the oldest waiter; _leader_active stays True so
+                # new arrivals keep enqueueing as followers.
+                successor = self._queue[0]
+                successor.outcome = _PROMOTED
+                successor.event.set()
+            else:
+                self._leader_active = False
+
+    def _run_cohort(self, cohort: "list[_PendingRequest]") -> None:
+        entries = [(pending.session_id, pending.count) for pending in cohort]
+        try:
+            outcomes: "Sequence[object]" = self._dispatch(entries)
+        except BaseException as exc:  # defensive: fail waiters, don't strand them
+            outcomes = [exc] * len(cohort)
+        with self._lock:
+            self.batches_dispatched += 1
+            self.requests_coalesced += len(cohort)
+            self.largest_batch = max(self.largest_batch, len(cohort))
+        for pending, outcome in zip(cohort, outcomes):
+            pending.outcome = outcome
+            pending.event.set()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> "dict[str, int]":
+        """Telemetry snapshot for ``/healthz``."""
+        with self._lock:
+            return {
+                "batches_dispatched": self.batches_dispatched,
+                "requests_coalesced": self.requests_coalesced,
+                "largest_batch": self.largest_batch,
+            }

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.exceptions import (
     ReproError,
@@ -71,6 +71,32 @@ class ServiceClient:
         if count is not None:
             path += f"?count={count}"
         return decode_next_results_response(self._request("GET", path))
+
+    def batch_next(
+        self, requests: "Sequence[tuple[str, int | None]]"
+    ) -> "list[NextResultsResponse | ReproError]":
+        """Fetch next batches for many sessions in one fused round trip.
+
+        Outcomes align positionally with ``requests``; a failed session
+        comes back as the typed exception instance (not raised) so callers
+        can handle partial success, mirroring the server's envelope.
+        """
+        payload = {
+            "requests": [
+                {"session_id": session_id, **({} if count is None else {"count": count})}
+                for session_id, count in requests
+            ]
+        }
+        data = self._request("POST", "/sessions/batch-next", payload)
+        outcomes: "list[NextResultsResponse | ReproError]" = []
+        for item in data["results"]:
+            if item.get("ok"):
+                outcomes.append(decode_next_results_response(item["result"]))
+            else:
+                error = item["error"]
+                exc_type = _ERROR_TYPES.get(str(error["type"]), SessionError)
+                outcomes.append(exc_type(str(error["message"])))
+        return outcomes
 
     def give_feedback(self, request: FeedbackRequest) -> SessionInfo:
         """Submit feedback for one image of the session's current batch."""

@@ -180,6 +180,48 @@ def decode_next_results_response(data: Any) -> NextResultsResponse:
     )
 
 
+def decode_batch_next_request(data: Any) -> "list[tuple[str, int | None]]":
+    """Decode a ``POST /sessions/batch-next`` body into (session_id, count) pairs."""
+    data = _as_mapping(data, "BatchNextRequest")
+    entries: "list[tuple[str, int | None]]" = []
+    for item in _as_sequence(_require(data, "requests"), "requests"):
+        item = _as_mapping(item, "BatchNextRequest entry")
+        session_id = _as_str(_require(item, "session_id"), "session_id")
+        count: "int | None" = None
+        if "count" in item and item["count"] is not None:
+            count = _as_int(item["count"], "count")
+            if count < 1:
+                raise TransportError(f"Field 'count' must be >= 1, got {count}")
+        entries.append((session_id, count))
+    if not entries:
+        raise TransportError("Field 'requests' must not be empty")
+    return entries
+
+
+def encode_batch_next_response(outcomes: "Sequence[Any]") -> "dict[str, Any]":
+    """Encode per-session batch outcomes (result or error) positionally.
+
+    Each outcome is either a :class:`NextResultsResponse` or the exception
+    the request failed with; errors keep the uniform envelope the 4xx/5xx
+    paths use, so a client can map them back to typed exceptions per item.
+    """
+    results: "list[dict[str, Any]]" = []
+    for outcome in outcomes:
+        if isinstance(outcome, BaseException):
+            results.append(
+                {
+                    "ok": False,
+                    "error": {
+                        "type": type(outcome).__name__,
+                        "message": str(outcome),
+                    },
+                }
+            )
+        else:
+            results.append({"ok": True, "result": encode_next_results_response(outcome)})
+    return {"results": results}
+
+
 def encode_session_info(info: SessionInfo) -> "dict[str, Any]":
     return {
         "session_id": info.session_id,

@@ -60,6 +60,10 @@ class SeeSawHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one :class:`SeeSawApp`."""
 
     daemon_threads = True
+    # socketserver's default listen backlog is 5; a burst of concurrent
+    # clients (the load profile the coalescing scheduler exists for) would
+    # get connection resets before a worker thread ever saw them.
+    request_queue_size = 128
 
     def __init__(
         self,

@@ -12,22 +12,40 @@ thread.  The :class:`SessionManager` sits between them and provides:
 * **capacity limiting** — at most ``max_sessions`` live sessions, excess
   starts fail fast with :class:`ServiceOverloadedError` (HTTP 503);
 * **TTL eviction** — sessions idle longer than ``session_ttl_seconds`` are
-  reaped, so abandoned browser tabs cannot pin memory forever.
+  reaped, so abandoned browser tabs cannot pin memory forever;
+* **request coalescing** — when ``batch_window_ms`` is positive, concurrent
+  next-batch requests are gathered by a
+  :class:`~repro.server.batching.NextBatchCoalescer` and dispatched as one
+  fused cohort through :meth:`SeeSawService.batch_next` (one GEMM for the
+  whole cohort); ``batch_next`` also serves the explicit
+  ``POST /sessions/batch-next`` endpoint.
+
+Closing and evicting both go through :meth:`_remove_session`, which acquires
+the session's own lock before the service-side close: a round already in
+flight finishes cleanly, the registry entry and the service session are
+removed as one unit, and concurrent close/evict callers race idempotently
+instead of leaving a lock entry behind or double-deleting.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Callable
+from contextlib import ExitStack
+from typing import Callable, Sequence
 
-from repro.exceptions import ServiceOverloadedError, UnknownResourceError
+from repro.exceptions import (
+    ReproError,
+    ServiceOverloadedError,
+    UnknownResourceError,
+)
 from repro.server.api import (
     FeedbackRequest,
     NextResultsResponse,
     SessionInfo,
     StartSessionRequest,
 )
+from repro.server.batching import NextBatchCoalescer
 from repro.server.service import SeeSawService
 
 
@@ -40,6 +58,8 @@ class SessionManager:
         max_sessions: int = 256,
         session_ttl_seconds: float = 1800.0,
         clock: "Callable[[], float]" = time.monotonic,
+        batch_window_ms: "float | None" = None,
+        max_batch_size: int = 64,
     ) -> None:
         self.service = service
         self.max_sessions = int(max_sessions)
@@ -50,6 +70,19 @@ class SessionManager:
         self._last_used: dict[str, float] = {}
         self._index_locks: dict[tuple[str, bool], threading.Lock] = {}
         self._index_locks_guard = threading.Lock()
+        if batch_window_ms is None:
+            batch_window_ms = service.config.batch_window_ms
+        self.batch_window_ms = float(batch_window_ms)
+        self.max_batch_size = int(max_batch_size)
+        self._coalescer: "NextBatchCoalescer | None" = (
+            NextBatchCoalescer(
+                self._dispatch_batch,
+                window_seconds=self.batch_window_ms / 1000.0,
+                max_batch_size=self.max_batch_size,
+            )
+            if self.batch_window_ms > 0
+            else None
+        )
 
     # ------------------------------------------------------------------
     # index builds
@@ -122,11 +155,72 @@ class SessionManager:
     def next_results(
         self, session_id: str, count: "int | None" = None
     ) -> NextResultsResponse:
-        """Thread-safe :meth:`SeeSawService.next_results`."""
-        with self._lock_for(session_id):
-            response = self.service.next_results(session_id, count)
+        """Thread-safe :meth:`SeeSawService.next_results`.
+
+        With a positive batch window the request is handed to the coalescer
+        and may be served as part of a fused cohort; the result (and any
+        error) is indistinguishable from the sequential path.
+        """
+        if self._coalescer is not None:
+            response = self._coalescer.submit(session_id, count)
+        else:
+            with self._lock_for(session_id):
+                response = self.service.next_results(session_id, count)
         self._touch(session_id)
         return response
+
+    def batch_next(
+        self, requests: "Sequence[tuple[str, int | None]]"
+    ) -> "list[NextResultsResponse | ReproError]":
+        """Explicitly batched next-results (the ``/sessions/batch-next`` body).
+
+        Dispatches immediately (no coalescing window — the caller already
+        batched) in cohorts of at most ``max_batch_size``: one request body
+        must not be able to hold an unbounded number of session locks or
+        stack an unbounded GEMM.  Outcomes align with ``requests``; failures
+        are returned per item, not raised.
+        """
+        requests = list(requests)
+        outcomes: "list[NextResultsResponse | ReproError]" = []
+        for start in range(0, len(requests), self.max_batch_size):
+            outcomes.extend(
+                self._dispatch_batch(requests[start : start + self.max_batch_size])
+            )
+        for (session_id, _), outcome in zip(requests, outcomes):
+            if not isinstance(outcome, BaseException):
+                self._touch(session_id)
+        return outcomes
+
+    def _dispatch_batch(
+        self, entries: "list[tuple[str, int | None]]"
+    ) -> "list[NextResultsResponse | ReproError]":
+        """Run one cohort under every member's session lock.
+
+        Locks are acquired in sorted session-id order (the global lock
+        ordering, so a cohort can never deadlock against another cohort or a
+        single-session request).  Sessions with no registry entry get their
+        ``UnknownResourceError`` outcome without touching the service.
+        """
+        known: "dict[str, threading.Lock]" = {}
+        missing: "dict[str, UnknownResourceError]" = {}
+        for session_id in sorted({session_id for session_id, _ in entries}):
+            try:
+                known[session_id] = self._lock_for(session_id)
+            except UnknownResourceError as exc:
+                missing[session_id] = exc
+        serviceable = [entry for entry in entries if entry[0] in known]
+        with ExitStack() as stack:
+            for session_id in sorted(known):
+                stack.enter_context(known[session_id])
+            results = self.service.batch_next(serviceable)
+        by_position = iter(results)
+        outcomes: "list[NextResultsResponse | ReproError]" = []
+        for session_id, _ in entries:
+            if session_id in known:
+                outcomes.append(next(by_position))
+            else:
+                outcomes.append(missing[session_id])
+        return outcomes
 
     def give_feedback(self, request: FeedbackRequest) -> SessionInfo:
         """Thread-safe :meth:`SeeSawService.give_feedback`."""
@@ -142,16 +236,53 @@ class SessionManager:
 
     def close_session(self, session_id: str) -> None:
         """Close a session and release its bookkeeping."""
+        self._remove_session(session_id)
+
+    def _remove_session(self, session_id: str, only_if_expired: bool = False) -> bool:
+        """Atomically retire one session; returns True if this call owned it.
+
+        The registry entries are popped under the registry lock, then the
+        service-side close runs *while holding the session's own lock*: a
+        request already past ``_lock_for`` finishes its round against a live
+        session instead of having it deleted mid-flight, and two concurrent
+        removers (close vs. evict, or double close) race on the pop — the
+        loser sees no entry and does nothing, so nothing is double-deleted
+        and no lock entry is left behind.
+
+        ``only_if_expired`` re-checks the TTL under the registry lock at pop
+        time: an eviction decision made earlier must not retire a session a
+        concurrent request touched in the meantime.
+        """
         with self._registry_lock:
-            self._session_locks.pop(session_id, None)
+            if only_if_expired:
+                last_used = self._last_used.get(session_id)
+                if (
+                    last_used is None
+                    or self._clock() - last_used <= self.session_ttl_seconds
+                ):
+                    return False
+            lock = self._session_locks.pop(session_id, None)
             self._last_used.pop(session_id, None)
-        self.service.close_session(session_id)
+        if lock is None:
+            # Already closed or evicted (or never existed); closing the
+            # service side again is a harmless no-op, kept for callers that
+            # bypass the manager's registry.
+            self.service.close_session(session_id)
+            return False
+        with lock:
+            self.service.close_session(session_id)
+        return True
 
     # ------------------------------------------------------------------
     # eviction and introspection
     # ------------------------------------------------------------------
     def evict_expired(self) -> "list[str]":
-        """Close sessions idle longer than the TTL; returns the evicted ids."""
+        """Close sessions idle longer than the TTL; returns the evicted ids.
+
+        Expiry is decided under the registry lock, but each removal goes
+        through :meth:`_remove_session` so an eviction racing a concurrent
+        ``close_session`` settles on exactly one owner per session.
+        """
         now = self._clock()
         with self._registry_lock:
             expired = [
@@ -159,12 +290,11 @@ class SessionManager:
                 for session_id, last_used in self._last_used.items()
                 if now - last_used > self.session_ttl_seconds
             ]
-            for session_id in expired:
-                self._session_locks.pop(session_id, None)
-                self._last_used.pop(session_id, None)
-        for session_id in expired:
-            self.service.close_session(session_id)
-        return expired
+        return [
+            session_id
+            for session_id in expired
+            if self._remove_session(session_id, only_if_expired=True)
+        ]
 
     @property
     def active_session_count(self) -> int:
@@ -174,6 +304,11 @@ class SessionManager:
 
     def health(self) -> "dict[str, object]":
         """The payload ``GET /healthz`` returns."""
+        coalescer_stats = (
+            self._coalescer.stats()
+            if self._coalescer is not None
+            else {"batches_dispatched": 0, "requests_coalesced": 0, "largest_batch": 0}
+        )
         return {
             "status": "ok",
             "datasets": list(self.service.dataset_names),
@@ -185,4 +320,11 @@ class SessionManager:
             # sessions on that dataset; per-session state is only the
             # SeenMask each session's context holds across HTTP rounds.
             "cached_engines": self.service.cached_engine_count,
+            # Sharding / batching topology and how much fusion is happening.
+            "n_shards": self.service.config.n_shards,
+            "store_shards": self.service.store_shard_counts,
+            "batch_window_ms": self.batch_window_ms,
+            "fused_rounds": self.service.fused_rounds,
+            "fused_sessions": self.service.fused_sessions,
+            "coalescer": coalescer_stats,
         }

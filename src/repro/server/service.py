@@ -11,6 +11,10 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
+from typing import Sequence
+
+import numpy as np
 
 from repro.config import MultiscaleConfig, SeeSawConfig
 from repro.core.indexing import SeeSawIndex
@@ -18,7 +22,7 @@ from repro.core.seesaw_method import SeeSawSearchMethod
 from repro.core.session import SearchSession
 from repro.data.dataset import ImageDataset
 from repro.embedding.base import EmbeddingModel
-from repro.exceptions import SessionError, UnknownResourceError
+from repro.exceptions import ReproError, SessionError, UnknownResourceError
 from repro.server.api import (
     FeedbackRequest,
     NextResultsResponse,
@@ -27,6 +31,7 @@ from repro.server.api import (
     StartSessionRequest,
 )
 from repro.store.cache import IndexCache
+from repro.vectorstore.sharded import ShardedVectorStore
 
 
 class SeeSawService:
@@ -41,6 +46,8 @@ class SeeSawService:
         self._session_counter = itertools.count(1)
         self.cache_hits = 0
         self.cache_misses = 0
+        self.fused_rounds = 0
+        self.fused_sessions = 0
         # Builds for *different* datasets can run concurrently under the
         # SessionManager's per-dataset locks, so the shared counters need
         # their own guard.
@@ -105,6 +112,10 @@ class SeeSawService:
                         self.cache_misses += 1
             else:
                 index = SeeSawIndex.build(dataset, embedding, config)
+            # The shard topology is a runtime knob (excluded from the cache
+            # key): a cache-loaded index comes back flat and is partitioned
+            # here, once, before any session touches it.
+            self._apply_sharding(index)
             # Warm the columnar query engine now (segment offsets, id
             # columns): it is cached on the index, so every session on this
             # dataset shares one engine instead of paying a first-round
@@ -113,10 +124,29 @@ class SeeSawService:
             self._indexes[key] = index
         return self._indexes[key]
 
+    def _apply_sharding(self, index: SeeSawIndex) -> None:
+        """Partition the index's store per ``config.n_shards`` (idempotent)."""
+        if self.config.n_shards > 1 and not isinstance(index.store, ShardedVectorStore):
+            index.replace_store(
+                ShardedVectorStore.wrap(index.store, self.config.n_shards)
+            )
+
     @property
     def cached_engine_count(self) -> int:
         """Number of in-memory indexes with a warmed query engine."""
         return sum(1 for index in self._indexes.values() if index.engine_warmed)
+
+    @property
+    def store_shard_counts(self) -> "dict[str, int]":
+        """Effective shard count per in-memory index (``/healthz`` detail)."""
+        counts: "dict[str, int]" = {}
+        for (dataset_name, multiscale), index in self._indexes.items():
+            label = dataset_name if multiscale else f"{dataset_name}-coarse"
+            store = index.store
+            counts[label] = (
+                store.n_shards if isinstance(store, ShardedVectorStore) else 1
+            )
+        return counts
 
     # ------------------------------------------------------------------
     # session lifecycle
@@ -162,7 +192,12 @@ class SeeSawService:
     def next_results(self, session_id: str, count: "int | None" = None) -> NextResultsResponse:
         """Fetch the next batch of results for a session."""
         session = self._session(session_id)
-        results = session.next_batch(count)
+        return self._next_response(session_id, session, session.next_batch(count))
+
+    @staticmethod
+    def _next_response(
+        session_id: str, session: SearchSession, results: "list[object]"
+    ) -> NextResultsResponse:
         items = [
             ResultItem.from_box(result.image_id, result.score, result.box)
             for result in results
@@ -173,6 +208,83 @@ class SeeSawService:
             total_shown=len(session.history),
             positives_found=session.relevant_found,
         )
+
+    def batch_next(
+        self, requests: "Sequence[tuple[str, int | None]]"
+    ) -> "list[NextResultsResponse | ReproError]":
+        """Fetch the next batch for many sessions, fusing rounds where possible.
+
+        Sessions whose method opted into fused scoring
+        (:attr:`~repro.core.interfaces.SearchMethod.supports_fused_batch`)
+        are grouped per index and dispatched through the cached
+        :class:`~repro.engine.batch.BatchQueryEngine` — one GEMM per group.
+        Everything else (opted-out methods, candidate stores, a second
+        request for a session already served in this batch) runs through the
+        ordinary sequential path.  The result list is positionally aligned
+        with ``requests``; per-session failures come back as the exception
+        the sequential call would have raised, so transports can map each to
+        its own status code without failing the cohort.
+
+        Not thread-safe on its own — callers (the
+        :class:`~repro.server.manager.SessionManager`) must hold the session
+        locks of every request in the batch.
+        """
+        outcomes: "list[NextResultsResponse | ReproError | None]" = [None] * len(requests)
+        # (position, session, query_vector, count, mask) per fusable request,
+        # grouped by the index the session searches.
+        fused_groups: "dict[int, list[tuple[int, str, SearchSession, np.ndarray, int, object]]]" = {}
+        sequential: "list[int]" = []
+        claimed: "set[str]" = set()
+        for position, (session_id, count) in enumerate(requests):
+            if session_id in claimed:
+                # A duplicate in one cohort must observe the first request's
+                # pending batch, exactly as back-to-back sequential calls
+                # would; deferring it to the sequential pass after dispatch
+                # preserves that ordering.
+                sequential.append(position)
+                continue
+            try:
+                session = self._session(session_id)
+                state = session.fused_batch_state(count)
+            except ReproError as exc:
+                outcomes[position] = exc
+                continue
+            claimed.add(session_id)
+            if state is None:
+                sequential.append(position)
+                continue
+            query_vector, effective_count, mask = state
+            fused_groups.setdefault(id(session.index), []).append(
+                (position, session_id, session, query_vector, effective_count, mask)
+            )
+        for group in fused_groups.values():
+            start = time.perf_counter()
+            engine = group[0][2].index.batch_engine
+            triples = engine.top_unseen_batch(
+                np.stack([entry[3] for entry in group]),
+                [entry[4] for entry in group],
+                [entry[5] for entry in group],
+            )
+            per_session_seconds = (time.perf_counter() - start) / len(group)
+            for (position, session_id, session, _, _, _), (ids, scores, vector_ids) in zip(
+                group, triples
+            ):
+                try:
+                    results = session.context.results_from_arrays(ids, scores, vector_ids)
+                    session.apply_batch_results(results, per_session_seconds)
+                    outcomes[position] = self._next_response(session_id, session, results)
+                except ReproError as exc:
+                    outcomes[position] = exc
+        with self._counter_lock:
+            self.fused_rounds += len(fused_groups)
+            self.fused_sessions += sum(len(group) for group in fused_groups.values())
+        for position in sequential:
+            session_id, count = requests[position]
+            try:
+                outcomes[position] = self.next_results(session_id, count)
+            except ReproError as exc:
+                outcomes[position] = exc
+        return outcomes  # type: ignore[return-value]
 
     def give_feedback(self, request: FeedbackRequest) -> SessionInfo:
         """Submit feedback for one image of the session's current batch."""

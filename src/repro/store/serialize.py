@@ -30,12 +30,27 @@ from repro.store.hashing import FORMAT_VERSION
 from repro.vectorstore.base import VectorRecord, VectorStore
 from repro.vectorstore.exact import ExactVectorStore
 from repro.vectorstore.forest import RandomProjectionForest
+from repro.vectorstore.sharded import ShardedVectorStore
 
 ARRAYS_FILE = "arrays.npz"
 META_FILE = "index.json"
 
 
+def _flat_store(store: VectorStore) -> VectorStore:
+    """The store whose kind/parameters describe the serialized artifacts.
+
+    Sharding is a runtime topology, not part of the on-disk format: a
+    sharded store serializes as its inner kind (the full vector matrix lives
+    on the wrapper already) and the service re-applies the configured shard
+    count after loading.
+    """
+    if isinstance(store, ShardedVectorStore):
+        return store.shard_example
+    return store
+
+
 def _store_kind(store: VectorStore) -> str:
+    store = _flat_store(store)
     if isinstance(store, RandomProjectionForest):
         return "forest"
     if isinstance(store, ExactVectorStore):
@@ -99,7 +114,7 @@ def save_index(index: SeeSawIndex, directory: "str | os.PathLike[str]") -> Path:
             },
         }
         if kind == "forest":
-            store = index.store
+            store = _flat_store(index.store)
             assert isinstance(store, RandomProjectionForest)
             meta["forest"] = {
                 "tree_count": store.tree_count,

@@ -41,6 +41,31 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.dot(a, b) / denom)
 
 
+def dot_rows(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Row-wise inner products of ``matrix`` with ``query``, shard-stable.
+
+    ``matrix @ query`` delegates to BLAS ``gemv``, whose internal row
+    blocking changes with the row count — scoring a row *slice* can differ
+    from the same rows of a full scoring in the last bits.  ``np.einsum``
+    contracts each row independently with the same reduction pattern
+    regardless of how many rows are present, so
+
+        ``dot_rows(M[a:b], q) == dot_rows(M, q)[a:b]``   (bit for bit)
+
+    which is what lets :class:`~repro.vectorstore.sharded.ShardedVectorStore`
+    guarantee bit-identical scores to an unsharded exact store.
+
+    The tradeoff is explicit: einsum does not dispatch to BLAS, so unlike
+    gemv it never multithreads and costs a modest single-kernel overhead
+    (~15% on the engine benchmark's exact store).  That is the price of
+    determinism — and parallelism is recovered *deterministically* by
+    raising ``SeeSawConfig.n_shards``, which scores row slices of this same
+    kernel on a thread pool instead of relying on BLAS's nondeterministic
+    internal threading.
+    """
+    return np.einsum("ij,j->i", matrix, query)
+
+
 def pairwise_inner(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
     """Inner products between each query row and each database row."""
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))

@@ -1,19 +1,22 @@
 """Vector stores for maximum-inner-product lookup.
 
 The paper uses Annoy, an approximate index.  This package provides an exact
-scan store and :class:`RandomProjectionForest`, an Annoy-style forest of
-random-hyperplane trees, behind one :class:`VectorStore` interface.  Vectors
-carry :class:`VectorRecord` metadata (image id, patch box, scale level) so the
-multiscale index can map patch hits back to images.
+scan store, :class:`RandomProjectionForest` (an Annoy-style forest of
+random-hyperplane trees), and :class:`ShardedVectorStore` (image-aligned
+partitions of either, scored in parallel), behind one :class:`VectorStore`
+interface.  Vectors carry :class:`VectorRecord` metadata (image id, patch
+box, scale level) so the multiscale index can map patch hits back to images.
 """
 
 from repro.vectorstore.base import VectorRecord, VectorStore
 from repro.vectorstore.exact import ExactVectorStore
 from repro.vectorstore.forest import RandomProjectionForest
+from repro.vectorstore.sharded import ShardedVectorStore
 
 __all__ = [
     "VectorRecord",
     "VectorStore",
     "ExactVectorStore",
     "RandomProjectionForest",
+    "ShardedVectorStore",
 ]

@@ -9,7 +9,39 @@ import numpy as np
 
 from repro.data.geometry import BoundingBox
 from repro.exceptions import VectorStoreError
-from repro.utils.linalg import normalize_rows
+from repro.utils.linalg import dot_rows, normalize_rows
+
+
+def deterministic_top_k(scores: np.ndarray, ids: np.ndarray, k: int) -> np.ndarray:
+    """Positions of the ``k`` best entries under (score desc, id asc).
+
+    ``argpartition`` alone selects an *arbitrary* subset of entries tied at
+    the k-th score, so two stores holding the same data could return
+    different id sets when a tie group straddles the cut.  This helper makes
+    the boundary deterministic: strictly-better entries are all taken, then
+    tied entries fill the remaining slots smallest-id first, and the final
+    ordering is score descending with ascending-id tie-break.  Both the
+    exact store and the sharded merge select through it, which is what makes
+    sharded results bit-identical to flat results *through ties* — any entry
+    in the global top-k under this rule is also in its shard's local top-k
+    under the same rule.
+    """
+    count = scores.shape[0]
+    k = min(k, count)
+    if k <= 0:
+        return np.zeros(0, dtype=np.int64)
+    if k == count:
+        chosen = np.arange(count)
+    else:
+        partitioned = np.argpartition(-scores, k - 1)
+        kth_score = scores[partitioned[k - 1]]
+        strictly_better = np.flatnonzero(scores > kth_score)
+        tied = np.flatnonzero(scores == kth_score)
+        need = k - strictly_better.size
+        if need < tied.size:
+            tied = tied[np.argsort(ids[tied], kind="stable")[:need]]
+        chosen = np.concatenate([strictly_better, tied])
+    return chosen[np.lexsort((ids[chosen], -scores[chosen]))]
 
 
 @dataclass(frozen=True)
@@ -71,7 +103,16 @@ class VectorStore(ABC):
                 )
             scale_levels[position] = record.scale_level
         scale_levels.setflags(write=False)
-        self._vectors = normalize_rows(vectors)
+        # Rows already at unit norm are kept bit-exact instead of being
+        # re-divided by a norm of 1±ulp: rebuilding a store from another
+        # store's vectors (shard slices, cache loads) must not drift scores
+        # in the last bits — the sharded store's equivalence guarantee and
+        # the index cache's reproducibility both rest on this.
+        norms = np.linalg.norm(vectors, axis=1)
+        if np.abs(norms - 1.0).max() < 1e-12:
+            self._vectors = vectors.copy()
+        else:
+            self._vectors = normalize_rows(vectors)
         self._records = list(records)
         self._scale_levels = scale_levels
 
@@ -121,6 +162,21 @@ class VectorStore(ABC):
             raise VectorStoreError(f"Unknown vector id {vector_id}")
         return self._vectors[vector_id].copy()
 
+    def _share_vectors(self, vectors: np.ndarray) -> None:
+        """Swap the owned matrix for a shared view with identical content.
+
+        Used by the sharded wrapper after building its inner stores: each
+        shard's matrix is replaced by a view into the wrapper's rows (same
+        bits — the unit-norm construction path preserved them), so sharding
+        does not double the corpus's resident memory.
+        """
+        if vectors.shape != self._vectors.shape:
+            raise VectorStoreError(
+                f"shared matrix shape {vectors.shape} does not match "
+                f"{self._vectors.shape}"
+            )
+        self._vectors = vectors
+
     def _check_query(self, query: np.ndarray) -> np.ndarray:
         query = np.asarray(query, dtype=np.float64).ravel()
         if query.shape[0] != self.dim:
@@ -128,6 +184,14 @@ class VectorStore(ABC):
                 f"query dimension {query.shape[0]} does not match store dimension {self.dim}"
             )
         return query
+
+    def _check_queries(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise VectorStoreError(
+                f"queries must be (count x {self.dim}), got shape {queries.shape}"
+            )
+        return queries
 
     def _hits_from_ids(self, ids: np.ndarray, scores: np.ndarray) -> "list[SearchHit]":
         return [
@@ -171,10 +235,24 @@ class VectorStore(ABC):
 
         The engine's bulk-scoring kernel; also pays the deliberate
         linear-scan cost of the global baselines (ENS, label propagation)
-        the paper contrasts SeeSaw against.
+        the paper contrasts SeeSaw against.  Computed with the shard-stable
+        :func:`~repro.utils.linalg.dot_rows` kernel so a sharded store's
+        per-shard scoring is bit-identical to the full scan.
         """
         query = self._check_query(query)
-        return self._vectors @ query
+        return dot_rows(self._vectors, query)
+
+    def score_many(self, queries: np.ndarray) -> np.ndarray:
+        """Inner products of every query row with every stored vector.
+
+        Returns a ``(query_count x vector_count)`` matrix — one BLAS GEMM,
+        the fused kernel :class:`~repro.engine.batch.BatchQueryEngine` scores
+        many concurrent sessions with.  Row ``q`` equals
+        ``score_all(queries[q])`` up to last-bit rounding (GEMM blocks the
+        reduction differently from the row-wise kernel).
+        """
+        queries = self._check_queries(queries)
+        return queries @ self._vectors.T
 
     def search(
         self,

@@ -11,7 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import VectorStoreError
-from repro.vectorstore.base import VectorStore
+from repro.utils.linalg import dot_rows
+from repro.vectorstore.base import VectorStore, deterministic_top_k
 
 
 class ExactVectorStore(VectorStore):
@@ -28,14 +29,17 @@ class ExactVectorStore(VectorStore):
         if k < 1:
             raise VectorStoreError(f"k must be >= 1, got {k}")
         query = self._check_query(query)
-        scores = self._vectors @ query
+        # dot_rows (not gemv) so a sharded wrapper scoring row slices gets
+        # bit-identical values; see repro.utils.linalg.dot_rows.
+        scores = dot_rows(self._vectors, query)
         if exclude_mask is not None:
-            # The matmul above allocated a fresh array, so masking in place
-            # is safe — no defensive copy needed.
+            # dot_rows allocated a fresh array, so masking in place is safe —
+            # no defensive copy needed.
             scores[exclude_mask] = -np.inf
-        k = min(k, len(self))
-        # argpartition gives the top-k in O(n); sort only those k by score.
-        top = np.argpartition(-scores, k - 1)[:k]
-        top = top[np.argsort(-scores[top])]
+        # Deterministic selection and ordering (score desc, id asc) even when
+        # a tie group straddles the k-th position — the rule the sharded
+        # merge reproduces, keeping flat and sharded results bit-identical.
+        ids = np.arange(len(self), dtype=np.int64)
+        top = deterministic_top_k(scores, ids, k)
         top = top[np.isfinite(scores[top])]
         return top, scores[top]

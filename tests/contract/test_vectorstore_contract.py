@@ -1,0 +1,200 @@
+"""Cross-backend contract suite: every VectorStore obeys the same invariants.
+
+One parametrized suite, run against the exact store, the random-projection
+forest, and the sharded wrapper around each.  A new backend earns the whole
+suite by adding one line to ``BACKENDS`` — the invariants below are the
+interface the query engine (and everything above it) is written against:
+
+* ``search`` is exactly the hit-object adapter over ``search_arrays``;
+* returned scores are true inner products of the returned vectors;
+* results come back best-first with deterministic ordering;
+* exclusions (mask or legacy id set) are honored absolutely;
+* edge cases (k > n, everything excluded, bad k, bad dimensions) are
+  handled identically everywhere;
+* ``score_all`` / ``score_many`` agree with a manual scan.
+
+Approximate backends may return *fewer or different* candidates than an
+exact scan — the contract never asserts recall — but whatever they return
+must satisfy every invariant above.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.geometry import BoundingBox
+from repro.exceptions import VectorStoreError
+from repro.vectorstore import (
+    ExactVectorStore,
+    RandomProjectionForest,
+    ShardedVectorStore,
+    VectorRecord,
+)
+
+DIM = 24
+
+
+def _corpus(seed: int = 11, image_count: int = 30):
+    """A multiscale-shaped corpus: images contribute 1-4 patch vectors."""
+    rng = np.random.default_rng(seed)
+    records: "list[VectorRecord]" = []
+    vector_id = 0
+    for image_id in range(image_count):
+        for patch in range(int(rng.integers(1, 5))):
+            records.append(
+                VectorRecord(
+                    vector_id=vector_id,
+                    image_id=image_id,
+                    box=BoundingBox(0.0, 0.0, 32.0, 32.0),
+                    scale_level=0 if patch == 0 else 1,
+                )
+            )
+            vector_id += 1
+    vectors = rng.standard_normal((vector_id, DIM))
+    return vectors, records
+
+
+BACKENDS = {
+    "exact": lambda v, r: ExactVectorStore(v, r),
+    "forest": lambda v, r: RandomProjectionForest(v, r, tree_count=4, leaf_size=8, seed=3),
+    "sharded-exact": lambda v, r: ShardedVectorStore(v, r, n_shards=3),
+    "sharded-forest": lambda v, r: ShardedVectorStore.wrap(
+        RandomProjectionForest(v, r, tree_count=4, leaf_size=8, seed=3), 2
+    ),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(BACKENDS))
+def store(request):
+    vectors, records = _corpus()
+    return BACKENDS[request.param](vectors, records)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(99)
+    return rng.standard_normal((5, DIM))
+
+
+class TestSearchContract:
+    def test_search_is_the_adapter_over_search_arrays(self, store, queries):
+        for query in queries:
+            ids, scores = store.search_arrays(query, k=7)
+            hits = store.search(query, k=7)
+            assert [hit.vector_id for hit in hits] == ids.tolist()
+            assert np.allclose([hit.score for hit in hits], scores)
+            for hit in hits:
+                assert hit.record is store.record(hit.vector_id)
+
+    def test_scores_are_true_inner_products(self, store, queries):
+        for query in queries:
+            ids, scores = store.search_arrays(query, k=9)
+            expected = np.asarray(store.vectors)[ids] @ query
+            assert np.allclose(scores, expected, rtol=0, atol=1e-12)
+
+    def test_results_sorted_best_first(self, store, queries):
+        for query in queries:
+            _, scores = store.search_arrays(query, k=12)
+            assert np.all(np.diff(scores) <= 1e-15)
+
+    def test_result_ids_unique_and_in_range(self, store, queries):
+        for query in queries:
+            ids, _ = store.search_arrays(query, k=15)
+            assert np.unique(ids).size == ids.size
+            assert ids.min() >= 0 and ids.max() < len(store)
+
+    def test_search_is_deterministic(self, store, queries):
+        for query in queries:
+            first = store.search_arrays(query, k=10)
+            second = store.search_arrays(query, k=10)
+            assert np.array_equal(first[0], second[0])
+            assert np.array_equal(first[1], second[1])
+
+
+class TestExclusions:
+    def test_exclusion_mask_honored(self, store, queries):
+        rng = np.random.default_rng(5)
+        for query in queries:
+            mask = rng.random(len(store)) < 0.5
+            ids, _ = store.search_arrays(query, k=len(store), exclude_mask=mask)
+            assert not mask[ids].any()
+
+    def test_legacy_id_set_agrees_with_mask(self, store, queries):
+        excluded = set(range(0, len(store), 3))
+        mask = np.zeros(len(store), dtype=bool)
+        mask[list(excluded)] = True
+        for query in queries:
+            from_mask, _ = store.search_arrays(query, k=8, exclude_mask=mask)
+            from_set = [hit.vector_id for hit in store.search(query, 8, excluded)]
+            assert from_mask.tolist() == from_set
+
+    def test_everything_excluded_returns_empty(self, store, queries):
+        mask = np.ones(len(store), dtype=bool)
+        ids, scores = store.search_arrays(queries[0], k=4, exclude_mask=mask)
+        assert ids.size == 0 and scores.size == 0
+        assert ids.dtype == np.int64
+
+    def test_out_of_range_ids_in_legacy_set_are_dropped(self, store, queries):
+        hits = store.search(queries[0], 3, {-5, len(store) + 100})
+        assert len(hits) == 3
+
+
+class TestEdgeCases:
+    def test_k_larger_than_store_caps_at_store_size(self, store, queries):
+        ids, _ = store.search_arrays(queries[0], k=len(store) + 50)
+        assert ids.size <= len(store)
+
+    def test_k_below_one_raises(self, store, queries):
+        with pytest.raises(VectorStoreError, match="k must be >= 1"):
+            store.search_arrays(queries[0], k=0)
+
+    def test_dimension_mismatch_raises(self, store):
+        with pytest.raises(VectorStoreError, match="dimension"):
+            store.search_arrays(np.zeros(DIM + 1), k=1)
+        with pytest.raises(VectorStoreError, match="dimension"):
+            store.score_all(np.zeros(DIM - 1))
+
+    def test_unknown_vector_id_raises(self, store):
+        with pytest.raises(VectorStoreError, match="Unknown vector id"):
+            store.record(len(store) + 1)
+        with pytest.raises(VectorStoreError, match="Unknown vector id"):
+            store.vector(-1)
+
+
+class TestBulkScoring:
+    def test_score_all_matches_manual_scan(self, store, queries):
+        matrix = np.asarray(store.vectors)
+        for query in queries:
+            assert np.allclose(store.score_all(query), matrix @ query, rtol=0, atol=1e-12)
+
+    def test_score_many_rows_match_score_all(self, store, queries):
+        batch = store.score_many(queries)
+        assert batch.shape == (queries.shape[0], len(store))
+        for row, query in enumerate(queries):
+            assert np.allclose(batch[row], store.score_all(query), rtol=0, atol=1e-12)
+
+    def test_score_many_rejects_bad_shapes(self, store):
+        with pytest.raises(VectorStoreError, match="queries"):
+            store.score_many(np.zeros((2, DIM + 1)))
+
+
+class TestStructure:
+    def test_records_aligned_with_row_index(self, store):
+        for vector_id, record in enumerate(store.records):
+            assert record.vector_id == vector_id
+
+    def test_vectors_are_unit_norm_and_read_only(self, store):
+        norms = np.linalg.norm(store.vectors, axis=1)
+        assert np.allclose(norms, 1.0)
+        with pytest.raises(ValueError):
+            store.vectors[0, 0] = 1.0
+
+    def test_exhaustive_flag_matches_backend_kind(self, store):
+        # Exhaustive means the engine may full-scan via score_all; a sharded
+        # store is exhaustive exactly when every shard is.
+        if isinstance(store, ShardedVectorStore):
+            expected = all(inner.exhaustive for inner in store.shard_stores)
+        else:
+            expected = isinstance(store, ExactVectorStore)
+        assert store.exhaustive == expected

@@ -1,0 +1,166 @@
+"""HTTP load/soak test: concurrent mixed traffic through the coalescer.
+
+~32 client threads drive start/next/feedback/close traffic against a real
+socket server configured with sharding and a coalescing batch window — the
+full scaling stack under fire at once.  The assertions are the ones that
+matter under concurrency:
+
+* **no cross-session leakage** — a session never sees an image twice across
+  its own batches (its SeenMask row is honored inside fused cohorts);
+* **no deadlocks** — every worker finishes within the join timeout;
+* **capacity and liveness errors survive coalescing** — over-capacity starts
+  still come back 503, requests for closed sessions still come back 404.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.config import SeeSawConfig
+from repro.exceptions import ServiceOverloadedError, UnknownResourceError
+from repro.server import (
+    FeedbackRequest,
+    SeeSawApp,
+    SeeSawService,
+    ServiceClient,
+    SessionManager,
+    StartSessionRequest,
+    serve_in_background,
+)
+
+WORKERS = 32
+CAPACITY = 24
+ROUNDS = 3
+BATCH_SIZE = 2
+
+
+@pytest.fixture(scope="module")
+def loaded_server(tiny_dataset, tiny_clip):
+    """A sharded, coalescing server with capacity below the worker count."""
+    service = SeeSawService(
+        SeeSawConfig(embedding_dim=64, seed=7, n_shards=3, batch_window_ms=4.0)
+    )
+    service.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+    manager = SessionManager(service, max_sessions=CAPACITY)
+    with serve_in_background(SeeSawApp(manager)) as server:
+        yield server, manager
+
+
+def test_load_soak_mixed_traffic(loaded_server):
+    server, manager = loaded_server
+    start_barrier = threading.Barrier(WORKERS, timeout=30.0)
+    traffic_barrier = threading.Barrier(WORKERS, timeout=30.0)
+    overloaded: "list[str]" = []
+    leaks: "list[str]" = []
+    errors: "list[BaseException]" = []
+    record_lock = threading.Lock()
+
+    def worker(worker_id: int) -> None:
+        client = ServiceClient(server.url)
+        session_id: "str | None" = None
+        try:
+            # Phase 1: everyone starts at once against CAPACITY slots; the
+            # losers must get a clean 503, not a hang or a stack trace.
+            start_barrier.wait()
+            try:
+                info = client.start_session(
+                    StartSessionRequest(
+                        dataset="tiny",
+                        text_query=f"a cat_easy {worker_id}",
+                        batch_size=BATCH_SIZE,
+                    )
+                )
+                session_id = info.session_id
+            except ServiceOverloadedError:
+                with record_lock:
+                    overloaded.append(f"worker-{worker_id}")
+            traffic_barrier.wait()
+            if session_id is None:
+                return
+            # Phase 2: mixed next/feedback rounds through the coalescer.
+            seen: "set[int]" = set()
+            for _ in range(ROUNDS):
+                batch = client.next_results(session_id)
+                batch_ids = [item.image_id for item in batch.items]
+                if seen & set(batch_ids) or len(set(batch_ids)) != len(batch_ids):
+                    with record_lock:
+                        leaks.append(
+                            f"worker-{worker_id}: repeat in {batch_ids} after {sorted(seen)}"
+                        )
+                seen.update(batch_ids)
+                for image_id in batch_ids:
+                    client.give_feedback(
+                        FeedbackRequest(
+                            session_id=session_id,
+                            image_id=image_id,
+                            relevant=worker_id % 3 == 0,
+                        )
+                    )
+            # Phase 3: close, then verify liveness errors still surface.
+            client.close_session(session_id)
+            with pytest.raises(UnknownResourceError):
+                client.next_results(session_id)
+            session_id = None
+        except BaseException as exc:  # pragma: no cover - failure reporting
+            with record_lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(worker_id,), name=f"load-{worker_id}")
+        for worker_id in range(WORKERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    stuck = [thread.name for thread in threads if thread.is_alive()]
+
+    assert not stuck, f"deadlocked workers: {stuck}"
+    assert not errors, errors
+    assert not leaks, leaks
+    # Exactly the capacity overflow was rejected, each with a clean 503.
+    assert len(overloaded) == WORKERS - CAPACITY
+    # Everyone closed their session; the registry drained completely.
+    assert manager.active_session_count == 0
+    health = manager.health()
+    assert health["store_shards"] == {"tiny": 3}
+    # The coalescer actually coalesced: fewer dispatches than requests, and
+    # at least one fused multi-session cohort went through the batch engine.
+    coalescer = health["coalescer"]
+    assert coalescer["requests_coalesced"] >= CAPACITY * ROUNDS
+    assert coalescer["batches_dispatched"] < coalescer["requests_coalesced"]
+    assert coalescer["largest_batch"] >= 2
+    assert health["fused_sessions"] >= 2
+
+
+def test_explicit_batch_next_endpoint_under_load(loaded_server):
+    """The explicit cohort endpoint: fused results plus per-item errors."""
+    server, _ = loaded_server
+    client = ServiceClient(server.url)
+    infos = [
+        client.start_session(
+            StartSessionRequest(dataset="tiny", text_query="a cat_easy", batch_size=2)
+        )
+        for _ in range(8)
+    ]
+    try:
+        requests = [(info.session_id, None) for info in infos] + [("session-none", None)]
+        outcomes = client.batch_next(requests)
+        assert len(outcomes) == len(requests)
+        returned: "list[set[int]]" = []
+        for outcome in outcomes[:-1]:
+            assert not isinstance(outcome, Exception), outcome
+            ids = {item.image_id for item in outcome.items}
+            assert len(ids) == 2
+            returned.append(ids)
+        assert isinstance(outcomes[-1], UnknownResourceError)
+        # A second fused round for one session without feedback must fail
+        # with the same pending-batch error the sequential path raises.
+        again = client.batch_next([(infos[0].session_id, None)])
+        assert isinstance(again[0], Exception)
+        assert "unlabelled" in str(again[0])
+    finally:
+        for info in infos:
+            client.close_session(info.session_id)

@@ -1,0 +1,228 @@
+"""Equivalence properties: sharding and batching must not change results.
+
+Two families of randomized (seeded) properties back the scaling layer:
+
+* **Shard-merge equivalence** — ``ShardedVectorStore`` over exact shards is
+  *bit-identical* to a single ``ExactVectorStore``: same scores (via the
+  shard-stable ``dot_rows`` kernel), same ids, same order, ties included.
+* **Batch-engine equivalence** — ``BatchQueryEngine`` over Q sessions
+  returns the same images, in the same order, as Q independent
+  ``QueryEngine`` rounds with the same evolving ``SeenMask`` state; scores
+  agree to a tight tolerance (the fused GEMM blocks its reduction
+  differently from the row-wise kernel, a last-bit effect).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.geometry import BoundingBox
+from repro.engine import BatchQueryEngine, ImageSegments, QueryEngine
+from repro.utils.linalg import dot_rows
+from repro.vectorstore import (
+    ExactVectorStore,
+    RandomProjectionForest,
+    ShardedVectorStore,
+    VectorRecord,
+)
+
+DIM = 16
+
+
+def make_corpus(seed: int, image_count: int = 40):
+    """Random multiscale-shaped corpus plus its CSR segment layout."""
+    rng = np.random.default_rng(seed)
+    records: "list[VectorRecord]" = []
+    image_vector_ids: "dict[int, list[int]]" = {}
+    vector_id = 0
+    for image_id in range(image_count):
+        ids: "list[int]" = []
+        for patch in range(int(rng.integers(1, 5))):
+            records.append(
+                VectorRecord(
+                    vector_id=vector_id,
+                    image_id=image_id,
+                    box=BoundingBox(0.0, 0.0, 16.0, 16.0),
+                    scale_level=0 if patch == 0 else 1,
+                )
+            )
+            ids.append(vector_id)
+            vector_id += 1
+        image_vector_ids[image_id] = ids
+    vectors = rng.standard_normal((vector_id, DIM))
+    segments = ImageSegments.from_mapping(
+        {k: tuple(v) for k, v in image_vector_ids.items()}, vector_id
+    )
+    return vectors, records, segments, rng
+
+
+# ---------------------------------------------------------------------------
+# the kernel invariant everything rests on
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=200),
+    split=st.integers(min_value=1, max_value=199),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_dot_rows_is_bit_stable_under_row_partitioning(rows, split, seed):
+    """dot_rows(M[a:b], q) == dot_rows(M, q)[a:b] bit for bit, any split."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.standard_normal((rows, DIM))
+    query = rng.standard_normal(DIM)
+    full = dot_rows(matrix, query)
+    split = min(split, rows)
+    parts = np.concatenate(
+        [dot_rows(matrix[start : start + split], query) for start in range(0, rows, split)]
+    )
+    assert np.array_equal(full, parts)
+
+
+# ---------------------------------------------------------------------------
+# shard-merge equivalence (bit-identical)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 7])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_sharded_exact_store_is_bit_identical(n_shards, seed):
+    vectors, records, _, rng = make_corpus(seed)
+    flat = ExactVectorStore(vectors, records)
+    sharded = ShardedVectorStore(vectors, records, n_shards=n_shards)
+    for _ in range(5):
+        query = rng.standard_normal(DIM)
+        assert np.array_equal(flat.score_all(query), sharded.score_all(query))
+        for k in (1, 4, len(flat) // 2, len(flat), len(flat) + 9):
+            flat_ids, flat_scores = flat.search_arrays(query, k)
+            sharded_ids, sharded_scores = sharded.search_arrays(query, k)
+            assert np.array_equal(flat_ids, sharded_ids)
+            assert np.array_equal(flat_scores, sharded_scores)
+        mask = rng.random(len(flat)) < rng.uniform(0.1, 0.9)
+        flat_ids, flat_scores = flat.search_arrays(query, 10, exclude_mask=mask)
+        sharded_ids, sharded_scores = sharded.search_arrays(query, 10, exclude_mask=mask)
+        assert np.array_equal(flat_ids, sharded_ids)
+        assert np.array_equal(flat_scores, sharded_scores)
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_sharded_store_tie_order_matches_flat(seed):
+    """Duplicate vectors produce exact ties; both stores break them by id."""
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((6, DIM))
+    vectors = np.vstack([base, base, base])  # every row duplicated 3x
+    records = [
+        VectorRecord(i, image_id=i, box=BoundingBox(0, 0, 8, 8), scale_level=0)
+        for i in range(vectors.shape[0])
+    ]
+    flat = ExactVectorStore(vectors, records)
+    sharded = ShardedVectorStore(vectors, records, n_shards=3)
+    query = rng.standard_normal(DIM)
+    # Every k, including every cut *through* a tie group: the selected tied
+    # subset must be deterministic (smallest ids win), not argpartition's
+    # arbitrary pick — the case that breaks naive top-k merging.
+    for k in range(1, len(flat) + 1):
+        flat_ids, flat_scores = flat.search_arrays(query, k)
+        sharded_ids, sharded_scores = sharded.search_arrays(query, k)
+        assert np.array_equal(flat_ids, sharded_ids), k
+        assert np.array_equal(flat_scores, sharded_scores), k
+    flat_ids, flat_scores = flat.search_arrays(query, len(flat))
+    # Within each tie group the ids must ascend — the deterministic rule.
+    for position in range(1, flat_ids.size):
+        if flat_scores[position] == flat_scores[position - 1]:
+            assert flat_ids[position] > flat_ids[position - 1]
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_shards_are_image_aligned(seed):
+    vectors, records, _, _ = make_corpus(seed)
+    sharded = ShardedVectorStore(vectors, records, n_shards=5)
+    boundaries = np.cumsum((0,) + sharded.shard_sizes)
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        inside = {records[i].image_id for i in range(start, stop)}
+        outside = {
+            records[i].image_id for i in range(len(records)) if not start <= i < stop
+        }
+        assert inside.isdisjoint(outside)
+
+
+def test_sharded_forest_obeys_exclusions_and_scores():
+    """No bit-identity promise for approximate shards, but exactness of the
+    returned candidates' scores and exclusion honoring still hold."""
+    vectors, records, _, rng = make_corpus(3)
+    forest = RandomProjectionForest(vectors, records, tree_count=4, leaf_size=8, seed=1)
+    sharded = ShardedVectorStore.wrap(forest, 3)
+    query = rng.standard_normal(DIM)
+    mask = rng.random(len(sharded)) < 0.4
+    ids, scores = sharded.search_arrays(query, 12, exclude_mask=mask)
+    assert not mask[ids].any()
+    assert np.allclose(scores, np.asarray(sharded.vectors)[ids] @ query)
+
+
+# ---------------------------------------------------------------------------
+# batch-engine equivalence (mask state included)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("n_shards", [1, 3])
+def test_batch_engine_matches_sequential_rounds(seed, n_shards):
+    vectors, records, segments, rng = make_corpus(seed)
+    store = (
+        ExactVectorStore(vectors, records)
+        if n_shards == 1
+        else ShardedVectorStore(vectors, records, n_shards=n_shards)
+    )
+    engine = QueryEngine(store, segments)
+    batch_engine = BatchQueryEngine(engine)
+    session_count, batch_size, rounds = 8, 3, 4
+    queries = rng.standard_normal((session_count, DIM))
+    batch_masks = [engine.new_mask() for _ in range(session_count)]
+    sequential_masks = [engine.new_mask() for _ in range(session_count)]
+    for _ in range(rounds):
+        fused = batch_engine.top_unseen_batch(queries, batch_size, batch_masks)
+        for row in range(session_count):
+            ids, scores, vector_ids = engine.top_unseen_arrays(
+                queries[row], batch_size, sequential_masks[row]
+            )
+            fused_ids, fused_scores, fused_vector_ids = fused[row]
+            assert np.array_equal(ids, fused_ids)
+            assert np.array_equal(vector_ids, fused_vector_ids)
+            assert np.allclose(scores, fused_scores, rtol=0, atol=1e-10)
+            batch_masks[row].mark_images(fused_ids.tolist())
+            sequential_masks[row].mark_images(ids.tolist())
+    # Mask state evolved identically on both sides.
+    for fused_mask, sequential_mask in zip(batch_masks, sequential_masks):
+        assert np.array_equal(fused_mask.image_seen, sequential_mask.image_seen)
+        assert np.array_equal(fused_mask.vector_seen, sequential_mask.vector_seen)
+        assert fused_mask.seen_count == sequential_mask.seen_count
+
+
+def test_batch_engine_rows_are_isolated():
+    """One session's mask must never affect another session's results."""
+    vectors, records, segments, rng = make_corpus(7)
+    engine = QueryEngine(ExactVectorStore(vectors, records), segments)
+    batch_engine = BatchQueryEngine(engine)
+    query = rng.standard_normal(DIM)
+    blind_mask = engine.new_mask()
+    seen_mask = engine.new_mask()
+    first_ids, _, _ = engine.top_unseen_arrays(query, 5, None)
+    seen_mask.mark_images(first_ids.tolist())
+    fused = batch_engine.top_unseen_batch(
+        np.stack([query, query]), 5, [blind_mask, seen_mask]
+    )
+    assert np.array_equal(fused[0][0], first_ids)  # blind row: the global top
+    assert not set(fused[1][0].tolist()) & set(first_ids.tolist())  # masked row skips them
+
+
+def test_batch_engine_falls_back_for_candidate_stores():
+    vectors, records, segments, rng = make_corpus(9)
+    forest = RandomProjectionForest(vectors, records, tree_count=4, leaf_size=8, seed=2)
+    engine = QueryEngine(forest, segments)
+    batch_engine = BatchQueryEngine(engine)
+    queries = rng.standard_normal((3, DIM))
+    masks = [engine.new_mask() for _ in range(3)]
+    fused = batch_engine.top_unseen_batch(queries, 4, masks)
+    for row in range(3):
+        ids, scores, vector_ids = engine.top_unseen_arrays(queries[row], 4, masks[row])
+        assert np.array_equal(ids, fused[row][0])
+        assert np.array_equal(scores, fused[row][1])
+        assert np.array_equal(vector_ids, fused[row][2])

@@ -1,0 +1,140 @@
+"""NextBatchCoalescer unit tests against a fake dispatch function."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ServiceOverloadedError, UnknownResourceError
+from repro.server.batching import NextBatchCoalescer
+
+
+class RecordingDispatch:
+    """Dispatch stub: records cohorts, returns per-entry outcomes."""
+
+    def __init__(self, outcome_for=None):
+        self.cohorts: "list[list[tuple[str, int | None]]]" = []
+        self.lock = threading.Lock()
+        self.outcome_for = outcome_for or (lambda session_id, count: f"result:{session_id}")
+
+    def __call__(self, entries):
+        with self.lock:
+            self.cohorts.append(list(entries))
+        return [self.outcome_for(session_id, count) for session_id, count in entries]
+
+
+class TestCoalescer:
+    def test_single_request_round_trips(self):
+        dispatch = RecordingDispatch()
+        coalescer = NextBatchCoalescer(dispatch, window_seconds=0.0)
+        assert coalescer.submit("session-1", 3) == "result:session-1"
+        assert dispatch.cohorts == [[("session-1", 3)]]
+
+    def test_concurrent_requests_share_a_cohort(self):
+        dispatch = RecordingDispatch()
+        coalescer = NextBatchCoalescer(dispatch, window_seconds=0.05)
+        results: "dict[str, object]" = {}
+        barrier = threading.Barrier(6, timeout=10.0)
+
+        def run(session_id: str) -> None:
+            barrier.wait()
+            results[session_id] = coalescer.submit(session_id)
+
+        threads = [
+            threading.Thread(target=run, args=(f"session-{i}",)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert results == {f"session-{i}": f"result:session-{i}" for i in range(6)}
+        # All six landed in far fewer cohorts than requests (typically one:
+        # they all arrived inside one 50 ms window).
+        assert len(dispatch.cohorts) < 6
+        stats = coalescer.stats()
+        assert stats["requests_coalesced"] == 6
+        assert stats["largest_batch"] >= 2
+
+    def test_per_request_errors_do_not_poison_the_cohort(self):
+        def outcome_for(session_id, count):
+            if session_id == "bad":
+                return UnknownResourceError("Unknown session 'bad'")
+            return f"result:{session_id}"
+
+        dispatch = RecordingDispatch(outcome_for)
+        coalescer = NextBatchCoalescer(dispatch, window_seconds=0.02)
+        outcomes: "dict[str, object]" = {}
+
+        def run(session_id: str) -> None:
+            try:
+                outcomes[session_id] = coalescer.submit(session_id)
+            except Exception as exc:
+                outcomes[session_id] = exc
+
+        threads = [
+            threading.Thread(target=run, args=(name,)) for name in ("good", "bad")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert outcomes["good"] == "result:good"
+        assert isinstance(outcomes["bad"], UnknownResourceError)
+
+    def test_dispatch_crash_fails_waiters_instead_of_stranding_them(self):
+        def exploding(entries):
+            raise RuntimeError("dispatch exploded")
+
+        coalescer = NextBatchCoalescer(exploding, window_seconds=0.0)
+        with pytest.raises(RuntimeError, match="exploded"):
+            coalescer.submit("session-1")
+
+    def test_max_batch_size_splits_cohorts(self):
+        dispatch = RecordingDispatch()
+        coalescer = NextBatchCoalescer(dispatch, window_seconds=0.05, max_batch_size=4)
+        barrier = threading.Barrier(10, timeout=10.0)
+        done: "list[object]" = []
+
+        def run(session_id: str) -> None:
+            barrier.wait()
+            done.append(coalescer.submit(session_id))
+
+        threads = [
+            threading.Thread(target=run, args=(f"session-{i}",)) for i in range(10)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(done) == 10
+        assert all(len(cohort) <= 4 for cohort in dispatch.cohorts)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            NextBatchCoalescer(lambda entries: [], window_seconds=-1.0)
+        with pytest.raises(ValueError):
+            NextBatchCoalescer(lambda entries: [], window_seconds=0.0, max_batch_size=0)
+
+    def test_wedged_dispatch_times_out_followers(self):
+        """A follower gives up with 503 instead of blocking forever."""
+        started = threading.Event()
+        block = threading.Event()
+
+        def stuck(entries):
+            started.set()
+            block.wait(timeout=30.0)
+            return ["late"] * len(entries)
+
+        coalescer = NextBatchCoalescer(
+            stuck, window_seconds=0.01, wait_timeout_seconds=0.1
+        )
+        leader = threading.Thread(target=lambda: coalescer.submit("leader"))
+        leader.start()
+        assert started.wait(timeout=10.0)
+        # The leader is inside the wedged dispatch; this follower enqueues
+        # behind it and must time out cleanly.
+        with pytest.raises(ServiceOverloadedError, match="Timed out"):
+            coalescer.submit("follower")
+        block.set()
+        leader.join(timeout=10.0)

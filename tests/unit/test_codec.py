@@ -125,3 +125,53 @@ class TestValidation:
 
     def test_parse_json_accepts_valid(self):
         assert parse_json(b'{"a": 1}') == {"a": 1}
+
+
+class TestBatchNextCodec:
+    def test_decode_entries_with_and_without_count(self):
+        from repro.server.codec import decode_batch_next_request
+
+        entries = decode_batch_next_request(
+            {
+                "requests": [
+                    {"session_id": "session-1", "count": 4},
+                    {"session_id": "session-2"},
+                    {"session_id": "session-3", "count": None},
+                ]
+            }
+        )
+        assert entries == [("session-1", 4), ("session-2", None), ("session-3", None)]
+
+    def test_decode_rejects_bad_bodies(self):
+        from repro.server.codec import decode_batch_next_request
+
+        with pytest.raises(TransportError, match="requests"):
+            decode_batch_next_request({})
+        with pytest.raises(TransportError, match="must not be empty"):
+            decode_batch_next_request({"requests": []})
+        with pytest.raises(TransportError, match="session_id"):
+            decode_batch_next_request({"requests": [{"count": 2}]})
+        with pytest.raises(TransportError, match="count"):
+            decode_batch_next_request(
+                {"requests": [{"session_id": "session-1", "count": 0}]}
+            )
+
+    def test_encode_mixes_results_and_errors(self):
+        from repro.exceptions import UnknownResourceError
+        from repro.server.codec import encode_batch_next_response
+
+        response = NextResultsResponse(
+            session_id="session-1",
+            items=(ResultItem(image_id=1, score=0.5, box_x=0, box_y=0, box_width=2, box_height=2),),
+            total_shown=1,
+            positives_found=0,
+        )
+        payload = encode_batch_next_response(
+            [response, UnknownResourceError("Unknown session 'session-9'")]
+        )
+        ok, bad = payload["results"]
+        assert ok["ok"] is True
+        assert decode_next_results_response(ok["result"]) == response
+        assert bad["ok"] is False
+        assert bad["error"]["type"] == "UnknownResourceError"
+        assert "session-9" in bad["error"]["message"]

@@ -99,3 +99,27 @@ class TestSeeSawConfig:
 
     def test_paper_default_config_exists(self):
         assert PAPER_DEFAULT_CONFIG.task.target_results == 10
+
+
+class TestScalingKnobs:
+    def test_defaults_keep_flat_store_and_no_window(self):
+        config = SeeSawConfig()
+        assert config.n_shards == 1
+        assert config.batch_window_ms == 0.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_shards"):
+            SeeSawConfig(n_shards=0)
+        with pytest.raises(ConfigurationError, match="batch_window_ms"):
+            SeeSawConfig(batch_window_ms=-1.0)
+
+    def test_round_trip_through_dict(self):
+        config = SeeSawConfig(n_shards=4, batch_window_ms=2.5)
+        rebuilt = SeeSawConfig.from_dict(config.to_dict())
+        assert rebuilt.n_shards == 4
+        assert rebuilt.batch_window_ms == 2.5
+
+    def test_describe_reports_the_knobs(self):
+        described = SeeSawConfig(n_shards=3, batch_window_ms=5.0).describe()
+        assert described["n_shards"] == 3
+        assert described["batch_window_ms"] == 5.0

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 
 import pytest
 
@@ -197,3 +199,187 @@ class TestConcurrency:
             summary = manager.session_info(info.session_id)
             assert summary.total_shown == 4
             assert summary.rounds == 2
+
+
+class TestCloseEvictRaces:
+    """Regressions for the close/evict race: removal must be atomic.
+
+    Closing (or evicting) a session used to drop the registry entries and
+    then close the service-side session without holding the session's own
+    lock: a request already inside its round could have the session deleted
+    mid-flight, and a close racing an eviction could interleave their
+    partial deletes.  ``_remove_session`` now owns the whole retirement
+    under the session lock; these tests pin that behavior.
+    """
+
+    def test_close_waits_for_inflight_round(self, service, monkeypatch):
+        manager = SessionManager(service)
+        info = manager.start_session(start_request())
+        entered = threading.Event()
+        release = threading.Event()
+        original = type(service).next_results
+
+        def slow_next(self, session_id, count=None):
+            entered.set()
+            assert release.wait(timeout=10.0)
+            return original(self, session_id, count)
+
+        monkeypatch.setattr(type(service), "next_results", slow_next)
+        round_outcome: list[object] = []
+        request_thread = threading.Thread(
+            target=lambda: round_outcome.append(manager.next_results(info.session_id))
+        )
+        request_thread.start()
+        assert entered.wait(timeout=10.0)
+        close_thread = threading.Thread(
+            target=manager.close_session, args=(info.session_id,)
+        )
+        close_thread.start()
+        # The close must block behind the in-flight round, not rip the
+        # session out from under it.
+        close_thread.join(timeout=0.2)
+        assert close_thread.is_alive()
+        release.set()
+        request_thread.join(timeout=10.0)
+        close_thread.join(timeout=10.0)
+        assert not close_thread.is_alive()
+        # The round completed against a live session...
+        assert round_outcome and len(round_outcome[0].items) == 2
+        # ...and afterwards the session is fully gone, nothing left behind.
+        assert manager.active_session_count == 0
+        assert info.session_id not in service.session_ids
+        assert info.session_id not in manager._session_locks
+        assert info.session_id not in manager._last_used
+
+    def test_concurrent_close_and_evict_single_owner(self, service):
+        clock = FakeClock()
+        manager = SessionManager(service, session_ttl_seconds=10.0, clock=clock)
+        infos = [manager.start_session(start_request()) for _ in range(8)]
+        clock.advance(11.0)  # everything is now expired
+        evicted_lists: list[list[str]] = []
+        barrier = threading.Barrier(5, timeout=10.0)
+        errors: list[BaseException] = []
+
+        def evictor() -> None:
+            try:
+                barrier.wait()
+                evicted_lists.append(manager.evict_expired())
+            except BaseException as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        def closer(session_ids: list[str]) -> None:
+            try:
+                barrier.wait()
+                for session_id in session_ids:
+                    manager.close_session(session_id)
+            except BaseException as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        session_ids = [info.session_id for info in infos]
+        threads = [threading.Thread(target=evictor) for _ in range(3)] + [
+            threading.Thread(target=closer, args=(session_ids[:4],)),
+            threading.Thread(target=closer, args=(session_ids[4:],)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        # Each session was evicted at most once across all evictors (no
+        # double-delete), and nothing is left behind anywhere.
+        evicted = [session_id for chunk in evicted_lists for session_id in chunk]
+        assert len(evicted) == len(set(evicted))
+        assert manager.active_session_count == 0
+        assert not manager._session_locks
+        assert not manager._last_used
+        assert not service.session_ids
+
+    def test_close_after_evict_is_clean_noop(self, service):
+        clock = FakeClock()
+        manager = SessionManager(service, session_ttl_seconds=10.0, clock=clock)
+        info = manager.start_session(start_request())
+        clock.advance(11.0)
+        assert manager.evict_expired() == [info.session_id]
+        manager.close_session(info.session_id)  # must not raise
+        assert manager.evict_expired() == []
+        assert manager.active_session_count == 0
+
+    def test_registry_invariant_under_churn(self, service):
+        """Random start/close/evict churn never desyncs the three tables."""
+        manager = SessionManager(service, max_sessions=16, session_ttl_seconds=0.05)
+        rng = random.Random(7)
+        errors: list[BaseException] = []
+
+        def churn(seed: int) -> None:
+            local = random.Random(seed)
+            own: list[str] = []
+            try:
+                for _ in range(25):
+                    action = local.random()
+                    if action < 0.5:
+                        try:
+                            own.append(manager.start_session(start_request()).session_id)
+                        except ServiceOverloadedError:
+                            pass
+                    elif action < 0.8 and own:
+                        manager.close_session(own.pop(local.randrange(len(own))))
+                    else:
+                        manager.evict_expired()
+                    if local.random() < 0.2:
+                        time.sleep(0.01)
+            except BaseException as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(rng.randrange(10_000),))
+            for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        manager.evict_expired()  # TTL is tiny; this may reap survivors
+        with manager._registry_lock:
+            assert set(manager._session_locks) == set(manager._last_used)
+            assert set(manager._session_locks) >= set(service.session_ids)
+
+
+class TestEvictionTouchRace:
+    def test_eviction_spares_sessions_touched_after_the_decision(self, service):
+        """A session renewed between expiry decision and removal survives."""
+        clock = FakeClock()
+        manager = SessionManager(service, session_ttl_seconds=100.0, clock=clock)
+        info = manager.start_session(start_request())
+        clock.advance(101.0)  # expired by the decision...
+        # ...but a request touches it before the evictor gets to the pop
+        # (the lock-released gap between deciding and removing).
+        decided = manager._last_used  # noqa: F841 - decision uses the same table
+        with manager._registry_lock:
+            expired = [
+                session_id
+                for session_id, last_used in manager._last_used.items()
+                if clock() - last_used > manager.session_ttl_seconds
+            ]
+        assert expired == [info.session_id]
+        manager.next_results(info.session_id)  # concurrent touch
+        removed = [
+            session_id
+            for session_id in expired
+            if manager._remove_session(session_id, only_if_expired=True)
+        ]
+        assert removed == []
+        assert info.session_id in service.session_ids
+        assert manager.active_session_count == 1
+
+
+class TestExplicitBatchChunking:
+    def test_batch_next_is_chunked_by_max_batch_size(self, service):
+        manager = SessionManager(service, max_batch_size=2)
+        infos = [manager.start_session(start_request()) for _ in range(5)]
+        outcomes = manager.batch_next([(info.session_id, None) for info in infos])
+        assert len(outcomes) == 5
+        assert all(not isinstance(outcome, Exception) for outcome in outcomes)
+        # 5 requests in chunks of 2 -> 3 fused dispatch groups.
+        assert service.fused_sessions == 5
+        assert service.fused_rounds == 3

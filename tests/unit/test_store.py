@@ -141,3 +141,65 @@ class TestIndexCache:
         cache.evict(key)
         assert not cache.contains(key)
         assert cache.entries() == []
+
+
+class TestShardedTopologyAndCache:
+    """Sharding is a runtime topology: invisible to keys and artifacts."""
+
+    def test_cache_key_ignores_shard_and_window_knobs(self, tiny_dataset, tiny_clip):
+        base = SeeSawConfig(embedding_dim=64, seed=7)
+        scaled = SeeSawConfig(embedding_dim=64, seed=7, n_shards=8, batch_window_ms=5.0)
+        assert index_cache_key(tiny_dataset, tiny_clip, base) == index_cache_key(
+            tiny_dataset, tiny_clip, scaled
+        )
+
+    def test_sharded_index_serializes_as_flat_store(
+        self, tiny_index, tiny_dataset, tiny_clip, tmp_path
+    ):
+        from repro.core.indexing import SeeSawIndex
+        from repro.vectorstore import ExactVectorStore, ShardedVectorStore
+
+        sharded = SeeSawIndex(
+            dataset=tiny_dataset,
+            embedding=tiny_clip,
+            store=ShardedVectorStore.wrap(tiny_index.store, 3),
+            image_vector_ids={
+                image_id: tiny_index.vector_ids_for_image(image_id)
+                for image_id in tiny_index.image_ids
+            },
+            knn_graph=tiny_index.knn_graph,
+            db_matrix=tiny_index.db_matrix,
+            config=tiny_index.config,
+            build_report=tiny_index.build_report,
+        )
+        directory = tmp_path / "sharded-entry"
+        save_index(sharded, directory)
+        loaded = load_index(directory, tiny_dataset, tiny_clip)
+        # Loads back flat (the service re-applies its configured topology)...
+        assert isinstance(loaded.store, ExactVectorStore)
+        # ...with bit-identical vectors: unit rows round-trip unrenormalized.
+        assert np.array_equal(
+            np.asarray(loaded.store.vectors), np.asarray(tiny_index.store.vectors)
+        )
+
+    def test_service_shards_cache_loaded_index(self, tiny_dataset, tiny_clip, tmp_path):
+        from repro.server import SeeSawService
+        from repro.vectorstore import ShardedVectorStore
+
+        cache_dir = str(tmp_path / "cache")
+        flat_config = SeeSawConfig(embedding_dim=64, seed=7, index_cache_dir=cache_dir)
+        cold = SeeSawService(flat_config)
+        cold.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+        assert cold.cache_misses == 1
+
+        sharded_config = SeeSawConfig(
+            embedding_dim=64, seed=7, index_cache_dir=cache_dir, n_shards=3
+        )
+        warm = SeeSawService(sharded_config)
+        warm.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+        # Same cache entry (the knob is excluded from the key), but the
+        # loaded index comes up partitioned.
+        assert warm.cache_hits == 1
+        store = warm.index_for("tiny").store
+        assert isinstance(store, ShardedVectorStore)
+        assert store.n_shards == 3

@@ -121,3 +121,97 @@ class TestRandomProjectionForest:
         forest = RandomProjectionForest(vectors, make_records(50), leaf_size=4, seed=0)
         hits = forest.search(np.array([1.0, 0.0, 0.0]), k=5)
         assert len(hits) == 5
+
+
+class TestShardedVectorStore:
+    """Construction/validation edges; equivalence lives in the property suite."""
+
+    def test_n_shards_below_one_rejected(self, store_data):
+        from repro.vectorstore.sharded import ShardedVectorStore
+
+        vectors, records = store_data
+        with pytest.raises(VectorStoreError, match="n_shards"):
+            ShardedVectorStore(vectors, records, n_shards=0)
+
+    def test_non_contiguous_image_layout_rejected(self, rng):
+        from repro.vectorstore.sharded import ShardedVectorStore
+
+        box = BoundingBox(0, 0, 10, 10)
+        # Image 0's vectors are split around image 1's: no contiguous split
+        # point can keep images whole.
+        records = [
+            VectorRecord(vector_id=0, image_id=0, box=box),
+            VectorRecord(vector_id=1, image_id=1, box=box),
+            VectorRecord(vector_id=2, image_id=0, box=box),
+        ]
+        with pytest.raises(VectorStoreError, match="contiguously"):
+            ShardedVectorStore(rng.standard_normal((3, 8)), records, n_shards=2)
+
+    def test_shard_count_capped_by_image_count(self, rng):
+        from repro.vectorstore.sharded import ShardedVectorStore
+
+        box = BoundingBox(0, 0, 10, 10)
+        records = [VectorRecord(vector_id=i, image_id=i, box=box) for i in range(4)]
+        store = ShardedVectorStore(rng.standard_normal((4, 8)), records, n_shards=99)
+        assert store.n_shards <= 4
+        assert sum(store.shard_sizes) == 4
+
+    def test_wrap_unknown_store_kind_needs_factory(self, store_data):
+        from repro.vectorstore.base import VectorStore
+        from repro.vectorstore.sharded import ShardedVectorStore
+
+        vectors, records = store_data
+
+        class OpaqueStore(VectorStore):
+            def search_arrays(self, query, k, exclude_mask=None):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(VectorStoreError, match="store_factory"):
+            ShardedVectorStore.wrap(OpaqueStore(vectors, records), 2)
+
+    def test_wrap_resharding_a_sharded_store(self, store_data):
+        from repro.vectorstore.sharded import ShardedVectorStore
+
+        vectors, records = store_data
+        twice = ShardedVectorStore.wrap(
+            ShardedVectorStore(vectors, records, n_shards=2), 4
+        )
+        assert twice.n_shards == 4
+        flat = ExactVectorStore(vectors, records)
+        query = vectors[3]
+        assert np.array_equal(flat.score_all(query), twice.score_all(query))
+
+    def test_close_is_idempotent(self, store_data):
+        from repro.vectorstore.sharded import ShardedVectorStore
+
+        vectors, records = store_data
+        store = ShardedVectorStore(vectors, records, n_shards=3)
+        store.score_all(vectors[0])  # spins up the pool
+        store.close()
+        store.close()
+        # Scoring after close lazily rebuilds the pool.
+        assert store.score_all(vectors[1]).shape == (len(store),)
+
+    def test_per_shard_diagnostics_cover_the_global_top(self, store_data):
+        from repro.vectorstore.sharded import ShardedVectorStore
+
+        vectors, records = store_data
+        store = ShardedVectorStore(vectors, records, n_shards=4)
+        query = vectors[11]
+        per_shard = store.search_arrays_per_shard(query, k=6)
+        assert len(per_shard) == store.n_shards
+        local_ids = np.concatenate([ids for ids, _ in per_shard])
+        global_ids, _ = store.search_arrays(query, k=6)
+        # The exact global top-k is always a subset of the shard-local tops —
+        # the invariant the merge's exactness proof rests on.
+        assert set(global_ids.tolist()) <= set(local_ids.tolist())
+
+    def test_shards_share_the_wrapper_matrix(self, store_data):
+        """Sharding must not double vector memory: inner stores hold views."""
+        from repro.vectorstore.sharded import ShardedVectorStore
+
+        vectors, records = store_data
+        store = ShardedVectorStore(vectors, records, n_shards=4)
+        wrapper_matrix = np.asarray(store.vectors)
+        for inner in store.shard_stores:
+            assert np.shares_memory(np.asarray(inner.vectors), wrapper_matrix)
