@@ -957,6 +957,179 @@ def table6_sharded_latency(
 
 
 # ---------------------------------------------------------------------------
+# Table 6 (dtype/quantized/mmap) — the storage & compute tier profile
+# ---------------------------------------------------------------------------
+@dataclass
+class DtypeThroughputResult:
+    """Per-round scoring latency per compute tier, and cold-load latency per
+    on-disk layout."""
+
+    scoring_rows: "list[dict[str, object]]"
+    load_rows: "list[dict[str, object]]"
+
+    def format_text(self) -> str:
+        columns = ["tier", "vectors", "per_round_ms", "speedup_vs_f64", "stream_mb"]
+        scoring = format_table(
+            columns,
+            [[row[column] for column in columns] for row in self.scoring_rows],
+            title=(
+                "Table 6 (dtype): per-round top-k scoring latency by compute "
+                "tier (stream_mb = matrix bytes the candidate pass reads)"
+            ),
+            float_format="{:.3f}",
+        )
+        load_columns = ["layout", "vectors", "cold_load_ms", "speedup"]
+        loads = format_table(
+            load_columns,
+            [[row[column] for column in load_columns] for row in self.load_rows],
+            title=(
+                "Table 6 (index load): cold index load latency, compressed "
+                "npz vs raw npy with mmap"
+            ),
+            float_format="{:.3f}",
+        )
+        return scoring + "\n\n" + loads
+
+    def scoring_ms(self) -> "dict[str, float]":
+        """``tier -> per_round_ms`` (gate helper)."""
+        return {
+            str(row["tier"]): float(row["per_round_ms"]) for row in self.scoring_rows
+        }
+
+    def load_ms(self) -> "dict[str, float]":
+        """``layout -> cold_load_ms`` (gate helper)."""
+        return {str(row["layout"]): float(row["cold_load_ms"]) for row in self.load_rows}
+
+
+def table6_dtype_throughput(
+    bundle: DatasetBundle,
+    vector_count: int = 16384,
+    dim: int = 128,
+    k: int = 10,
+    query_count: int = 8,
+    repeats: int = 5,
+    load_repeats: int = 3,
+    cache_dir: "str | None" = None,
+) -> DtypeThroughputResult:
+    """Measure what the storage & compute tiers buy, and what they cost.
+
+    **Scoring rows** run the per-round top-k (``search_arrays``) over one
+    seeded random unit-vector corpus through three tiers:
+
+    * ``float64`` — the bit-parity reference scan;
+    * ``float32`` — same scan at half the bytes per score (the expected ~2x
+      bandwidth win this experiment gates in CI);
+    * ``int8+rerank`` — the quantized candidate pass (int32-accumulated
+      int8 GEMM, an 8x reduction in matrix bytes streamed) plus the exact
+      float32 re-rank of ``rerank_factor * k`` candidates.  NumPy has no
+      vectorised int8 GEMM kernel, so this tier trades CPU time for the
+      smaller scoring working set — ``stream_mb`` is the honest column to
+      compare; its top-k is pinned equal to the exact store's.
+
+    **Load rows** serialize the bundle's real multiscale index in both
+    layouts and time a cold :func:`~repro.store.serialize.load_index` —
+    decompressing ``arrays.npz`` into private arrays vs memory-mapping raw
+    ``.npy`` (no inflate, no copy; the load's validation pass streams the
+    pages through the OS page cache), the second CI gate.
+    """
+    import tempfile
+    import time
+
+    from repro.data.geometry import BoundingBox
+    from repro.store.serialize import load_index, save_index
+    from repro.vectorstore.base import VectorRecord
+    from repro.vectorstore.exact import ExactVectorStore
+    from repro.vectorstore.quantized import QuantizedVectorStore
+
+    rng = np.random.default_rng(6)
+    matrix = rng.standard_normal((vector_count, dim))
+    matrix /= np.linalg.norm(matrix, axis=1, keepdims=True)
+    records = [
+        VectorRecord(vector_id=i, image_id=i, box=BoundingBox(0.0, 0.0, 32.0, 32.0))
+        for i in range(vector_count)
+    ]
+    queries = rng.standard_normal((query_count, dim))
+    stores = {
+        "float64": ExactVectorStore(matrix, records),
+        "float32": ExactVectorStore(matrix, records, compute_dtype="float32"),
+        "int8+rerank": QuantizedVectorStore(
+            matrix, records, compute_dtype="float32"
+        ),
+    }
+    stream_bytes = {
+        "float64": vector_count * dim * 8,
+        "float32": vector_count * dim * 4,
+        # codes + the re-ranked candidate rows in float32
+        "int8+rerank": vector_count * dim
+        + stores["int8+rerank"].rerank_factor * k * dim * 4,
+    }
+
+    def run(store) -> float:
+        start = time.perf_counter()
+        for query in queries:
+            store.search_arrays(query, k=k)
+        return (time.perf_counter() - start) / query_count
+
+    scoring_rows: "list[dict[str, object]]" = []
+    baseline_ms = None
+    for tier, store in stores.items():
+        seconds = min(run(store) for _ in range(repeats))
+        per_round_ms = seconds * 1000.0
+        if baseline_ms is None:
+            baseline_ms = per_round_ms
+        scoring_rows.append(
+            {
+                "tier": tier,
+                "vectors": vector_count,
+                "per_round_ms": per_round_ms,
+                "speedup_vs_f64": baseline_ms / max(per_round_ms, 1e-12),
+                "stream_mb": stream_bytes[tier] / 1e6,
+            }
+        )
+    # The quantized tier's contract rides along: recall@k = 1.0 against the
+    # exact scan *in the same compute dtype* (the contract the property
+    # suite states; comparing id sets, not ordering, keeps the gate immune
+    # to last-bit kernel-rounding flips at the k-th boundary).
+    for query in queries:
+        exact_ids, _ = stores["float32"].search_arrays(query, k=k)
+        quant_ids, _ = stores["int8+rerank"].search_arrays(query, k=k)
+        assert set(quant_ids.tolist()) == set(exact_ids.tolist()), (
+            "quantized tier lost recall on the benchmark corpus"
+        )
+
+    index = bundle.multiscale_index
+    load_rows: "list[dict[str, object]]" = []
+    with tempfile.TemporaryDirectory(dir=cache_dir) as scratch:
+        from pathlib import Path
+
+        compressed_ms = None
+        for layout, arrays_format, mmap in (
+            ("npz-compressed", "npz", False),
+            ("npy-mmap", "npy", True),
+        ):
+            entry = Path(scratch) / layout
+            save_index(index, entry, arrays_format=arrays_format)
+
+            def run_load(entry=entry, mmap=mmap) -> float:
+                start = time.perf_counter()
+                load_index(entry, bundle.dataset, bundle.embedding, mmap=mmap)
+                return time.perf_counter() - start
+
+            cold_ms = min(run_load() for _ in range(load_repeats)) * 1000.0
+            if compressed_ms is None:
+                compressed_ms = cold_ms
+            load_rows.append(
+                {
+                    "layout": layout,
+                    "vectors": index.vector_count,
+                    "cold_load_ms": cold_ms,
+                    "speedup": compressed_ms / max(cold_ms, 1e-12),
+                }
+            )
+    return DtypeThroughputResult(scoring_rows=scoring_rows, load_rows=load_rows)
+
+
+# ---------------------------------------------------------------------------
 # Table 7 — hyperparameter sensitivity
 # ---------------------------------------------------------------------------
 # The paper sweeps lambda_c in {3, 10, 30}, lambda_D in {300, 1000, 3000} and

@@ -162,6 +162,39 @@ class SeeSawConfig:
     them through the fused :class:`~repro.engine.batch.BatchQueryEngine` —
     one GEMM for the whole cohort instead of one matvec per session.  ``0``
     disables coalescing (every request dispatches immediately)."""
+    compute_dtype: str = "float64"
+    """Floating dtype of the scoring hot path (store matrix, engine scores).
+    ``"float64"`` is the bit-parity default every equivalence property in the
+    test suite is stated against; ``"float32"`` halves the bytes per score —
+    memory footprint and GEMM bandwidth both — at ~1e-7 relative rounding.
+    The stored vectors are written to disk in this dtype, so it is part of
+    the index-cache key (a float32 index is a different on-disk artifact)."""
+    quantized_store: bool = False
+    """When true, exhaustive stores are wrapped in an int8
+    :class:`~repro.vectorstore.quantized.QuantizedVectorStore` tier after
+    load/build: candidates are scored through a symmetric per-row int8
+    matrix with int32 accumulation (an 8x bandwidth reduction over float64),
+    then the top ``quantized_rerank_factor * k`` are re-ranked exactly in the
+    compute dtype.  A runtime tier like ``n_shards`` — derived from the flat
+    vectors at load time, so it is excluded from the index-cache key.
+    Trade-off: the quantized tier is not exhaustive, so cohorts on a
+    quantized index fall back from fused multi-session batching
+    (``batch_window_ms``) to sequential per-session rounds — pick it for
+    memory-bound workloads, not for high-concurrency fused serving."""
+    quantized_rerank_factor: int = 4
+    """Candidate over-fetch multiplier of the quantized tier: the int8 pass
+    keeps ``rerank_factor * k`` candidates for the exact re-rank.  At the
+    default the re-ranked top-k is empirically identical to the exact
+    store's top-k (recall@k = 1.0 on the contract-suite indexes)."""
+    mmap_index: bool = True
+    """Load index-cache arrays with ``mmap_mode="r"`` (zero-copy, page-cache
+    backed) when the on-disk entry uses the raw ``.npy`` layout.  Cold
+    starts then map the artifacts instead of decompressing them into a
+    private copy: one sequential validation pass reads the pages (free when
+    the OS page cache is warm, e.g. on a service restart), and the mapped
+    memory stays evictable and shared across processes.  Legacy compressed
+    entries still load through the ``.npz`` path.  Runtime knob, excluded
+    from the cache key."""
 
     def __post_init__(self) -> None:
         if self.embedding_dim < 2:
@@ -171,6 +204,16 @@ class SeeSawConfig:
         if self.batch_window_ms < 0:
             raise ConfigurationError(
                 f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.compute_dtype not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"compute_dtype must be 'float64' or 'float32', got "
+                f"'{self.compute_dtype}'"
+            )
+        if self.quantized_rerank_factor < 1:
+            raise ConfigurationError(
+                f"quantized_rerank_factor must be >= 1, got "
+                f"{self.quantized_rerank_factor}"
             )
 
     def with_overrides(self, **overrides: Any) -> "SeeSawConfig":
@@ -218,6 +261,10 @@ class SeeSawConfig:
             "seed": self.seed,
             "n_shards": self.n_shards,
             "batch_window_ms": self.batch_window_ms,
+            "compute_dtype": self.compute_dtype,
+            "quantized_store": self.quantized_store,
+            "quantized_rerank_factor": self.quantized_rerank_factor,
+            "mmap_index": self.mmap_index,
         }
 
 

@@ -21,9 +21,11 @@ from repro.embedding.base import EmbeddingModel
 from repro.engine import BatchQueryEngine, ImageSegments, QueryEngine
 from repro.exceptions import IndexingError
 from repro.knng.graph import KnnGraph, build_knn_graph
+from repro.utils.linalg import ensure_dtype, resolve_compute_dtype
 from repro.vectorstore.base import VectorRecord, VectorStore
 from repro.vectorstore.exact import ExactVectorStore
 from repro.vectorstore.forest import RandomProjectionForest
+from repro.vectorstore.quantized import QuantizedVectorStore
 
 
 @dataclass
@@ -120,8 +122,9 @@ class SeeSawIndex:
         config:
             SeeSaw configuration; its ``multiscale`` section controls tiling.
         store_kind:
-            ``"exact"`` for a brute-force store or ``"forest"`` for the
-            Annoy-style approximate store.
+            ``"exact"`` for a brute-force store, ``"forest"`` for the
+            Annoy-style approximate store, or ``"quantized"`` for the int8
+            candidate tier with exact re-rank.
         compute_db_alignment:
             Whether to precompute the DB-alignment matrix ``M_D``.
         build_graph:
@@ -151,13 +154,22 @@ class SeeSawIndex:
                 vector_id += 1
             image_vector_ids[image.image_id] = ids
         embedding_seconds = time.perf_counter() - embed_start
-        matrix = np.stack(vectors)
+        # Cast once to the configured compute dtype; the store then adopts
+        # the stacked matrix as-is (float64 default stays the bit-parity
+        # reference, float32 halves every scoring pass's memory traffic).
+        matrix = ensure_dtype(
+            np.stack(vectors), resolve_compute_dtype(config.compute_dtype)
+        )
 
         store_start = time.perf_counter()
         if store_kind == "exact":
             store: VectorStore = ExactVectorStore(matrix, records)
         elif store_kind == "forest":
             store = RandomProjectionForest(matrix, records, seed=config.seed)
+        elif store_kind == "quantized":
+            store = QuantizedVectorStore(
+                matrix, records, rerank_factor=config.quantized_rerank_factor
+            )
         else:
             raise IndexingError(f"Unknown store kind '{store_kind}'")
         store_seconds = time.perf_counter() - store_start

@@ -37,6 +37,7 @@ import numpy as np
 from repro.engine.engine import QueryEngine
 from repro.engine.mask import SeenMask
 from repro.exceptions import SessionError, VectorStoreError
+from repro.utils.linalg import ensure_dtype
 
 BatchSelection = "tuple[np.ndarray, np.ndarray, np.ndarray]"
 
@@ -83,7 +84,10 @@ class BatchQueryEngine:
         :meth:`QueryEngine.top_unseen_arrays` would return for that
         session alone.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        # One conversion to the store's compute dtype up front; already-
+        # converted matrices (and every row sliced from this one on the
+        # sequential fallback) then flow through the store checks zero-copy.
+        queries = np.atleast_2d(ensure_dtype(queries, self.engine.store.compute_dtype))
         if queries.ndim != 2:
             raise VectorStoreError("queries must be a (sessions x dim) matrix")
         session_count = queries.shape[0]

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.indexing import SeeSawIndex
 from repro.core.interfaces import ImageResult
 from repro.exceptions import SessionError
+from repro.utils.linalg import ensure_dtype
 from repro.vectorstore.exact import ExactVectorStore
 
 
@@ -69,7 +70,11 @@ def legacy_score_all_images(
     if isinstance(store, ExactVectorStore):
         scores = store.score_all(query_vector)
     else:
-        scores = store.vectors @ np.asarray(query_vector, dtype=np.float64)
+        # Convert to the store's compute dtype (not a hard-coded float64
+        # round-trip): a query already in that dtype multiplies zero-copy.
+        scores = store.vectors @ ensure_dtype(
+            np.ravel(query_vector), store.compute_dtype
+        )
     image_scores: dict[int, float] = {}
     for image_id in index.image_ids:
         vector_ids = np.asarray(index.vector_ids_for_image(image_id), dtype=np.int64)

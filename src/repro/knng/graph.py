@@ -17,7 +17,7 @@ from repro.config import KnnGraphConfig
 from repro.exceptions import IndexingError
 from repro.knng.kernels import gaussian_similarity, squared_distance_from_inner
 from repro.knng.nndescent import exact_knn, nn_descent
-from repro.utils.linalg import normalize_rows
+from repro.utils.linalg import ensure_dtype, unit_rows
 
 
 @dataclass
@@ -114,7 +114,12 @@ def build_knn_graph(
     configuration asks for it (matching the paper's choice for large data).
     """
     config = config or KnnGraphConfig()
-    vectors = normalize_rows(np.asarray(vectors, dtype=np.float64))
+    # Graph weights are always computed in float64 (edge weights feed the
+    # Laplacian; a float32 store's rounding shouldn't reach the propagation
+    # math), but a store's already-unit float64 rows flow through zero-copy:
+    # ensure_dtype skips the conversion and unit_rows skips the re-divide
+    # that used to copy the whole matrix per build.
+    vectors = unit_rows(ensure_dtype(vectors, np.float64))
     if config.use_nn_descent:
         neighbor_ids, neighbor_sims = nn_descent(
             vectors,

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import IndexingError
-from repro.utils.linalg import normalize_rows
+from repro.utils.linalg import ensure_dtype, unit_rows
 from repro.utils.rng import ensure_rng
 
 
@@ -73,7 +73,9 @@ def nn_descent(
         Two ``(count, k)`` arrays; similarities are inner products of the
         normalised vectors, sorted descending per row.
     """
-    vectors = normalize_rows(np.asarray(vectors, dtype=np.float64))
+    # Already-normalised float64 input (the build_knn_graph call path) passes
+    # through zero-copy instead of paying a fresh divide-and-copy per call.
+    vectors = unit_rows(ensure_dtype(vectors, np.float64))
     count = vectors.shape[0]
     if count < 2:
         raise IndexingError("nn_descent requires at least two vectors")
@@ -150,7 +152,7 @@ def exact_knn(
     so databases with tens of thousands of vectors never materialise the full
     pairwise matrix.
     """
-    vectors = normalize_rows(np.asarray(vectors, dtype=np.float64))
+    vectors = unit_rows(ensure_dtype(vectors, np.float64))
     count = vectors.shape[0]
     if count < 2:
         raise IndexingError("exact_knn requires at least two vectors")

@@ -323,6 +323,12 @@ class SessionManager:
             # Sharding / batching topology and how much fusion is happening.
             "n_shards": self.service.config.n_shards,
             "store_shards": self.service.store_shard_counts,
+            # Storage & compute tiers: the scoring dtype, whether the int8
+            # candidate tier is on, and whether cache loads memory-map.
+            "compute_dtype": self.service.config.compute_dtype,
+            "quantized_store": self.service.config.quantized_store,
+            "mmap_index": self.service.config.mmap_index,
+            "store_tiers": self.service.store_tiers,
             "batch_window_ms": self.batch_window_ms,
             "fused_rounds": self.service.fused_rounds,
             "fused_sessions": self.service.fused_sessions,

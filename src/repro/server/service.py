@@ -31,6 +31,7 @@ from repro.server.api import (
     StartSessionRequest,
 )
 from repro.store.cache import IndexCache
+from repro.vectorstore.quantized import QuantizedVectorStore
 from repro.vectorstore.sharded import ShardedVectorStore
 
 
@@ -77,7 +78,9 @@ class SeeSawService:
             del self._indexes[key]
         effective_cache_dir = cache_dir or self.config.index_cache_dir
         if effective_cache_dir is not None:
-            self._caches[dataset.name] = IndexCache(effective_cache_dir)
+            self._caches[dataset.name] = IndexCache(
+                effective_cache_dir, mmap=self.config.mmap_index
+            )
         else:
             self._caches.pop(dataset.name, None)
         if preprocess:
@@ -112,10 +115,10 @@ class SeeSawService:
                         self.cache_misses += 1
             else:
                 index = SeeSawIndex.build(dataset, embedding, config)
-            # The shard topology is a runtime knob (excluded from the cache
-            # key): a cache-loaded index comes back flat and is partitioned
-            # here, once, before any session touches it.
-            self._apply_sharding(index)
+            # Quantization and shard topology are runtime tiers (excluded
+            # from the cache key): a cache-loaded index comes back flat and
+            # is tiered here, once, before any session touches it.
+            self._apply_store_tiers(index)
             # Warm the columnar query engine now (segment offsets, id
             # columns): it is cached on the index, so every session on this
             # dataset shares one engine instead of paying a first-round
@@ -124,8 +127,26 @@ class SeeSawService:
             self._indexes[key] = index
         return self._indexes[key]
 
-    def _apply_sharding(self, index: SeeSawIndex) -> None:
-        """Partition the index's store per ``config.n_shards`` (idempotent)."""
+    def _apply_store_tiers(self, index: SeeSawIndex) -> None:
+        """Apply the configured runtime tiers to the index's store (idempotent).
+
+        Quantization first (the int8 tier wraps the flat exhaustive store,
+        adopting its vectors zero-copy), then sharding — a sharded quantized
+        store quantizes per shard, which per-row symmetric scales make
+        bit-identical to slicing the flat quantization.
+        """
+        if (
+            self.config.quantized_store
+            and index.store.exhaustive
+            and not isinstance(index.store, (QuantizedVectorStore, ShardedVectorStore))
+        ):
+            index.replace_store(
+                QuantizedVectorStore(
+                    index.store.vectors,
+                    list(index.store.records),
+                    rerank_factor=self.config.quantized_rerank_factor,
+                )
+            )
         if self.config.n_shards > 1 and not isinstance(index.store, ShardedVectorStore):
             index.replace_store(
                 ShardedVectorStore.wrap(index.store, self.config.n_shards)
@@ -138,15 +159,40 @@ class SeeSawService:
 
     @property
     def store_shard_counts(self) -> "dict[str, int]":
-        """Effective shard count per in-memory index (``/healthz`` detail)."""
-        counts: "dict[str, int]" = {}
+        """Effective shard count per in-memory index (``/healthz`` detail).
+
+        A projection of :attr:`store_tiers` — the label convention and
+        topology introspection live there, once.
+        """
+        return {
+            label: int(tier["shards"]) for label, tier in self.store_tiers.items()
+        }
+
+    @property
+    def store_tiers(self) -> "dict[str, dict[str, object]]":
+        """Storage/compute tier summary per in-memory index (``/healthz``).
+
+        One entry per index: the scoring dtype, whether the int8 candidate
+        tier is active (and its re-rank factor), and the shard count — the
+        full tier stack a request to that dataset scores through.
+        """
+        tiers: "dict[str, dict[str, object]]" = {}
         for (dataset_name, multiscale), index in self._indexes.items():
             label = dataset_name if multiscale else f"{dataset_name}-coarse"
             store = index.store
-            counts[label] = (
-                store.n_shards if isinstance(store, ShardedVectorStore) else 1
+            flat = (
+                store.shard_example if isinstance(store, ShardedVectorStore) else store
             )
-        return counts
+            quantized = isinstance(flat, QuantizedVectorStore)
+            tiers[label] = {
+                "compute_dtype": store.compute_dtype.name,
+                "quantized": quantized,
+                "rerank_factor": flat.rerank_factor if quantized else None,
+                "shards": (
+                    store.n_shards if isinstance(store, ShardedVectorStore) else 1
+                ),
+            }
+        return tiers
 
     # ------------------------------------------------------------------
     # session lifecycle

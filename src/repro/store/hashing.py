@@ -72,12 +72,21 @@ def config_fingerprint(config: SeeSawConfig) -> "dict[str, Any]":
     invalidate the preprocessed artifacts.
     """
     full = config.to_dict()
-    return {
+    fingerprint: "dict[str, Any]" = {
         "embedding_dim": full["embedding_dim"],
         "seed": full["seed"],
         "multiscale": full["multiscale"],
         "knn": full["knn"],
     }
+    # The compute dtype changes the serialized artifacts (vectors are stored
+    # in it), so non-default tiers get their own entries.  It is added only
+    # when non-default so every float64 key — including entries written
+    # before the dtype tier existed — keeps matching.  Purely runtime tiers
+    # (quantization, sharding, mmap) stay excluded: they are derived from
+    # the same on-disk artifacts at load time.
+    if full["compute_dtype"] != "float64":
+        fingerprint["compute_dtype"] = full["compute_dtype"]
+    return fingerprint
 
 
 def index_cache_key(
@@ -87,12 +96,20 @@ def index_cache_key(
     store_kind: str = "exact",
 ) -> str:
     """The cache key (hex digest) for one (dataset, embedding, config) build."""
+    config_section = config_fingerprint(config)
+    if store_kind == "quantized":
+        # Only the quantized kind persists its re-rank factor in the entry
+        # (load_index rebuilds the store with it), so only there does the
+        # knob change the artifact and belong in the key.  For every other
+        # kind — including the service's runtime quantized *tier* over an
+        # exact entry — it stays a runtime knob.
+        config_section["quantized_rerank_factor"] = config.quantized_rerank_factor
     fingerprint = {
         "format": FORMAT_VERSION,
         "store_kind": store_kind,
         "dataset": dataset_fingerprint(dataset),
         "embedding": embedding.fingerprint(),
-        "config": config_fingerprint(config),
+        "config": config_section,
     }
     canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,12 +1,24 @@
 """Serialize a built :class:`SeeSawIndex` to disk and load it back.
 
 The expensive preprocessing outputs — patch vectors, kNN graph, DB-alignment
-matrix — are written as one compressed ``.npz``; everything structural
-(records, image→vector mapping, configuration, build report) goes into a
-JSON sidecar.  The dataset and embedding model themselves are *not*
-serialized: they are cheap to recreate deterministically and the loader
-receives live instances, which keeps the on-disk format small and free of
-pickled code.
+matrix — are written as raw ``.npy`` artifacts (one file per array, the
+default ``arrays_format="npy"``), which :func:`load_index` can open with
+``mmap_mode="r"``: a cold start then *maps* the arrays instead of
+decompressing them into a private copy, and the vector store adopts the
+mapping zero-copy (its construction keeps read-only input as-is — its one
+sequential unit-norm validation pass reads the pages through the OS page
+cache, so a restart on a warm machine touches no disk at all, and the
+mapped corpus stays evictable and shared across server processes).
+The previous single compressed ``arrays.npz`` layout remains fully readable
+— and writable via ``arrays_format="npz"`` — for existing cache directories.
+
+Everything structural (records, image→vector mapping, configuration, build
+report) goes into a JSON sidecar.  The dataset and embedding model
+themselves are *not* serialized: they are cheap to recreate
+deterministically and the loader receives live instances, which keeps the
+on-disk format small and free of pickled code.  Arrays are stored in the
+store's compute dtype, so a float32 index is both half the bytes on disk
+and zero-copy at load.
 """
 
 from __future__ import annotations
@@ -27,13 +39,19 @@ from repro.embedding.base import EmbeddingModel
 from repro.exceptions import StoreError
 from repro.knng.graph import KnnGraph
 from repro.store.hashing import FORMAT_VERSION
+from repro.utils.linalg import assert_no_copy
 from repro.vectorstore.base import VectorRecord, VectorStore
 from repro.vectorstore.exact import ExactVectorStore
 from repro.vectorstore.forest import RandomProjectionForest
+from repro.vectorstore.quantized import QuantizedVectorStore
 from repro.vectorstore.sharded import ShardedVectorStore
 
 ARRAYS_FILE = "arrays.npz"
 META_FILE = "index.json"
+
+ARRAY_NAMES = ("vectors", "knn_neighbor_ids", "knn_neighbor_weights", "db_matrix")
+"""The array artifacts an entry may hold, one ``<name>.npy`` file each in the
+raw layout (``vectors`` is always present, the rest are optional)."""
 
 
 def _flat_store(store: VectorStore) -> VectorStore:
@@ -53,18 +71,31 @@ def _store_kind(store: VectorStore) -> str:
     store = _flat_store(store)
     if isinstance(store, RandomProjectionForest):
         return "forest"
+    if isinstance(store, QuantizedVectorStore):
+        return "quantized"
     if isinstance(store, ExactVectorStore):
         return "exact"
     raise StoreError(f"Cannot serialize vector store of type {type(store).__name__}")
 
 
-def save_index(index: SeeSawIndex, directory: "str | os.PathLike[str]") -> Path:
+def save_index(
+    index: SeeSawIndex,
+    directory: "str | os.PathLike[str]",
+    arrays_format: str = "npy",
+) -> Path:
     """Write ``index`` under ``directory`` (created if missing).
+
+    ``arrays_format`` selects the array layout: ``"npy"`` (default) writes
+    one raw ``<name>.npy`` per array so the loader can memory-map them;
+    ``"npz"`` writes the legacy single compressed ``arrays.npz`` (kept for
+    size-sensitive archival and for exercising the back-compat read path).
 
     The write is atomic at the directory level: files are assembled in a
     temporary sibling directory first and moved into place with ``os.replace``
     so a concurrent reader never observes a half-written entry.
     """
+    if arrays_format not in ("npy", "npz"):
+        raise StoreError(f"Unknown arrays format '{arrays_format}'")
     target = Path(directory)
     target.parent.mkdir(parents=True, exist_ok=True)
     staging = Path(tempfile.mkdtemp(prefix=".staging-", dir=target.parent))
@@ -75,12 +106,17 @@ def save_index(index: SeeSawIndex, directory: "str | os.PathLike[str]") -> Path:
             arrays["knn_neighbor_weights"] = index.knn_graph.neighbor_weights
         if index.db_matrix is not None:
             arrays["db_matrix"] = index.db_matrix
-        np.savez_compressed(staging / ARRAYS_FILE, **arrays)
+        if arrays_format == "npy":
+            for name, array in arrays.items():
+                np.save(staging / f"{name}.npy", array, allow_pickle=False)
+        else:
+            np.savez_compressed(staging / ARRAYS_FILE, **arrays)
 
         report = index.build_report
         kind = _store_kind(index.store)
         meta: dict[str, object] = {
             "format_version": FORMAT_VERSION,
+            "arrays_format": arrays_format,
             "dataset_name": index.dataset.name,
             "embedding_dim": index.embedding.dim,
             "store_kind": kind,
@@ -121,6 +157,12 @@ def save_index(index: SeeSawIndex, directory: "str | os.PathLike[str]") -> Path:
                 "leaf_size": store.leaf_size,
                 "seed": store.seed,
             }
+        elif kind == "quantized":
+            store = _flat_store(index.store)
+            assert isinstance(store, QuantizedVectorStore)
+            # Only the knob is persisted: the int8 codes are derived from
+            # the float vectors deterministically and cheaply at load time.
+            meta["quantized"] = {"rerank_factor": store.rerank_factor}
         (staging / META_FILE).write_text(
             json.dumps(meta, sort_keys=True), encoding="utf-8"
         )
@@ -144,22 +186,58 @@ def save_index(index: SeeSawIndex, directory: "str | os.PathLike[str]") -> Path:
         raise
 
 
+def _load_arrays(
+    source: Path, meta: "dict[str, object]", mmap: bool
+) -> "dict[str, np.ndarray]":
+    """The entry's arrays, memory-mapped when the layout and caller allow.
+
+    The raw ``.npy`` layout opens each file with ``mmap_mode="r"`` (nothing
+    is decompressed or copied into private memory; reads go through the OS
+    page cache); the legacy compressed ``.npz`` layout has no mappable
+    representation and always decompresses into fresh arrays.
+    """
+    arrays_format = meta.get("arrays_format", "npz")
+    if arrays_format == "npy":
+        loaded: "dict[str, np.ndarray]" = {}
+        for name in ARRAY_NAMES:
+            path = source / f"{name}.npy"
+            if not path.exists():
+                continue
+            try:
+                loaded[name] = np.load(
+                    path, mmap_mode="r" if mmap else None, allow_pickle=False
+                )
+            except (OSError, ValueError) as exc:
+                raise StoreError(f"Corrupt array artifact at '{path}': {exc}") from exc
+        if "vectors" not in loaded:
+            raise StoreError(f"No serialized index at '{source}'")
+        return loaded
+    arrays_path = source / ARRAYS_FILE
+    if not arrays_path.exists():
+        raise StoreError(f"No serialized index at '{source}'")
+    with np.load(arrays_path) as arrays:
+        return {name: arrays[name] for name in ARRAY_NAMES if name in arrays}
+
+
 def load_index(
     directory: "str | os.PathLike[str]",
     dataset: ImageDataset,
     embedding: EmbeddingModel,
+    mmap: bool = True,
 ) -> SeeSawIndex:
     """Reconstruct a :class:`SeeSawIndex` previously written by :func:`save_index`.
 
     ``dataset`` and ``embedding`` must be the live instances the index was
     built from (the cache key guarantees this when loading through
     :class:`repro.store.cache.IndexCache`); basic identity checks guard
-    against loading mismatched artifacts directly.
+    against loading mismatched artifacts directly.  With ``mmap`` true (the
+    default) raw-layout entries are memory-mapped read-only and the vector
+    store adopts the mapping zero-copy; pass false to force materialised
+    arrays (e.g. when the cache directory may be deleted while in use).
     """
     source = Path(directory)
     meta_path = source / META_FILE
-    arrays_path = source / ARRAYS_FILE
-    if not meta_path.exists() or not arrays_path.exists():
+    if not meta_path.exists():
         raise StoreError(f"No serialized index at '{source}'")
     try:
         meta = json.loads(meta_path.read_text(encoding="utf-8"))
@@ -181,13 +259,11 @@ def load_index(
             f"embedding model produces {embedding.dim}-d vectors"
         )
 
-    with np.load(arrays_path) as arrays:
-        vectors = arrays["vectors"]
-        neighbor_ids = arrays["knn_neighbor_ids"] if "knn_neighbor_ids" in arrays else None
-        neighbor_weights = (
-            arrays["knn_neighbor_weights"] if "knn_neighbor_weights" in arrays else None
-        )
-        db_matrix = arrays["db_matrix"] if "db_matrix" in arrays else None
+    arrays = _load_arrays(source, meta, mmap)
+    vectors = arrays["vectors"]
+    neighbor_ids = arrays.get("knn_neighbor_ids")
+    neighbor_weights = arrays.get("knn_neighbor_weights")
+    db_matrix = arrays.get("db_matrix")
 
     records = [
         VectorRecord(
@@ -210,6 +286,13 @@ def load_index(
     kind = meta["store_kind"]
     if kind == "exact":
         store: VectorStore = ExactVectorStore(vectors, records)
+    elif kind == "quantized":
+        quantized_meta = meta.get("quantized", {})
+        store = QuantizedVectorStore(
+            vectors,
+            records,
+            rerank_factor=int(quantized_meta.get("rerank_factor", 4)),
+        )
     elif kind == "forest":
         forest_meta = meta.get("forest", {})
         store = RandomProjectionForest(
@@ -221,6 +304,20 @@ def load_index(
         )
     else:
         raise StoreError(f"Index at '{source}' has unknown store kind '{kind}'")
+    if mmap and isinstance(vectors, np.memmap):
+        # The zero-copy cold-start guarantee, enforced at runtime: the store
+        # must have adopted the read-only mapping, not silently copied it.
+        # save_index only ever writes canonical (unit or zero) rows, so a
+        # copy here means the artifact was tampered with or corrupted —
+        # raised as StoreError so IndexCache treats the entry as a miss
+        # (evict + rebuild) instead of wedging every future cold start.
+        try:
+            assert_no_copy(vectors, store.vectors)
+        except AssertionError as exc:
+            raise StoreError(
+                f"Index at '{source}' holds non-canonical vectors (the store "
+                f"renormalised them instead of adopting the mapping): {exc}"
+            ) from exc
 
     knn_graph = None
     if neighbor_ids is not None and neighbor_weights is not None:

@@ -13,6 +13,75 @@ from repro.utils.rng import ensure_rng
 
 _EPSILON = 1e-12
 
+ZERO_NORM_EPSILON = _EPSILON
+"""Rows/vectors with an L2 norm below this are treated as zero: the
+normalisation helpers preserve them verbatim instead of dividing, and the
+canonical-form checks count them as already normalised."""
+
+COMPUTE_DTYPES: "tuple[np.dtype, ...]" = (np.dtype(np.float64), np.dtype(np.float32))
+"""The floating dtypes the scoring hot path may run in.
+
+``float64`` is the bit-parity reference every equivalence guarantee in this
+repo is stated against; ``float32`` halves the bytes every score streams
+through memory and doubles effective GEMM throughput, at ~1e-7 relative
+rounding.  Everything else (inputs arriving as python lists, integer arrays,
+half precision) is promoted to ``float64`` at a store boundary.
+"""
+
+
+def resolve_compute_dtype(dtype: "np.dtype | str | type | None") -> np.dtype:
+    """The validated compute dtype for ``dtype`` (``None`` means ``float64``)."""
+    if dtype is None:
+        return np.dtype(np.float64)
+    resolved = np.dtype(dtype)
+    if resolved not in COMPUTE_DTYPES:
+        raise ValueError(
+            f"compute dtype must be one of {[d.name for d in COMPUTE_DTYPES]}, "
+            f"got '{resolved.name}'"
+        )
+    return resolved
+
+
+def unit_norm_tolerance(dtype: "np.dtype | type") -> float:
+    """How far from 1.0 a row norm may sit and still count as unit.
+
+    Scaled to the dtype's precision: re-dividing a row whose norm is 1±ulp
+    would change its bits, so the tolerance must be loose enough to recognise
+    rows that were normalised in this dtype (or normalised in a wider dtype
+    and cast down) and tight enough to catch genuinely unnormalised data.
+    """
+    return 1e-6 if np.dtype(dtype) == np.float32 else 1e-12
+
+
+def ensure_dtype(array: np.ndarray, dtype: "np.dtype | type") -> np.ndarray:
+    """Return ``array`` in ``dtype`` — the same object when already there.
+
+    The hot-path alternative to ``np.asarray(array, dtype=...)`` sprinkled at
+    every boundary: conversion happens at most once, and an array already in
+    the compute dtype flows through zero-copy by identity, which
+    :func:`assert_no_copy` can then verify.
+    """
+    array = np.asarray(array)
+    if array.dtype == np.dtype(dtype):
+        return array
+    return array.astype(dtype)
+
+
+def assert_no_copy(source: np.ndarray, result: np.ndarray) -> np.ndarray:
+    """Guard that a dtype pass-through really was zero-copy.
+
+    Used at call sites where the caller *knows* ``source`` is already in the
+    target dtype (the store converted it once at its boundary) and a silent
+    conversion copy would mean a hot-path regression.  Returns ``result`` so
+    the guard composes inline.
+    """
+    if result is not source and not np.shares_memory(result, source):
+        raise AssertionError(
+            "expected a zero-copy dtype pass-through but the array was copied "
+            f"(source dtype {source.dtype}, result dtype {result.dtype})"
+        )
+    return result
+
 
 def normalize_vector(vector: np.ndarray) -> np.ndarray:
     """Return ``vector`` scaled to unit L2 norm (zero vectors stay zero)."""
@@ -29,6 +98,30 @@ def normalize_rows(matrix: np.ndarray) -> np.ndarray:
     norms = np.linalg.norm(matrix, axis=1, keepdims=True)
     norms = np.where(norms < _EPSILON, 1.0, norms)
     return matrix / norms
+
+
+def unit_rows(matrix: np.ndarray) -> np.ndarray:
+    """Rows at unit L2 norm, skipping the work (and the copy) when they already are.
+
+    :func:`normalize_rows` always allocates and divides; callers on warm paths
+    (kNN-graph construction over a store's already-normalised vectors, the
+    NN-descent entry points re-checking their input) were paying a full-matrix
+    copy per call for data that was unit norm all along.  Within the dtype's
+    :func:`unit_norm_tolerance` the input is returned unchanged — same object,
+    same bits — otherwise it is normalised in float64 and cast back.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.dtype in COMPUTE_DTYPES and matrix.size:
+        norms = np.linalg.norm(matrix, axis=1)
+        canonical = (np.abs(norms - 1.0) < unit_norm_tolerance(matrix.dtype)) | (
+            norms < ZERO_NORM_EPSILON  # zero rows: normalize_rows keeps them
+        )
+        if bool(canonical.all()):
+            return matrix
+    normalized = normalize_rows(matrix)
+    if matrix.dtype in COMPUTE_DTYPES:
+        normalized = ensure_dtype(normalized, matrix.dtype)
+    return normalized
 
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:

@@ -9,7 +9,15 @@ import numpy as np
 
 from repro.data.geometry import BoundingBox
 from repro.exceptions import VectorStoreError
-from repro.utils.linalg import dot_rows, normalize_rows
+from repro.utils.linalg import (
+    COMPUTE_DTYPES,
+    ZERO_NORM_EPSILON,
+    dot_rows,
+    ensure_dtype,
+    normalize_rows,
+    resolve_compute_dtype,
+    unit_norm_tolerance,
+)
 
 
 def deterministic_top_k(scores: np.ndarray, ids: np.ndarray, k: int) -> np.ndarray:
@@ -85,8 +93,24 @@ class VectorStore(ABC):
     retries) and drives candidate gathering for approximate ones.
     """
 
-    def __init__(self, vectors: np.ndarray, records: "list[VectorRecord]") -> None:
-        vectors = np.asarray(vectors, dtype=np.float64)
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        records: "list[VectorRecord]",
+        compute_dtype: "np.dtype | str | None" = None,
+    ) -> None:
+        source = np.asarray(vectors)
+        if compute_dtype is None:
+            # Adopt the dtype the data arrives in when it is already a
+            # compute dtype: shard slices, cache-loaded artifacts, and tier
+            # wrappers then propagate the tier choice with zero configuration
+            # (and zero conversion copies).  Anything else promotes to the
+            # float64 reference dtype.
+            dtype = source.dtype if source.dtype in COMPUTE_DTYPES else np.dtype(np.float64)
+        else:
+            dtype = resolve_compute_dtype(compute_dtype)
+        vectors = ensure_dtype(source, dtype)
+        converted = vectors is not source
         if vectors.ndim != 2:
             raise VectorStoreError("vectors must be a 2-d array (count x dim)")
         if vectors.shape[0] == 0:
@@ -103,18 +127,32 @@ class VectorStore(ABC):
                 )
             scale_levels[position] = record.scale_level
         scale_levels.setflags(write=False)
-        # Rows already at unit norm are kept bit-exact instead of being
+        # Rows already in canonical form are kept bit-exact instead of being
         # re-divided by a norm of 1±ulp: rebuilding a store from another
         # store's vectors (shard slices, cache loads) must not drift scores
         # in the last bits — the sharded store's equivalence guarantee and
-        # the index cache's reproducibility both rest on this.
+        # the index cache's reproducibility both rest on this.  Canonical
+        # means unit norm within the dtype's tolerance *or* (near-)zero:
+        # ``normalize_rows`` preserves zero rows verbatim, so they are
+        # already in the form it would produce.  The defensive copy is
+        # skipped when nobody else can mutate the rows: the dtype conversion
+        # already produced a private array, and a read-only input (another
+        # store's ``vectors`` view, an ``mmap_mode="r"`` artifact) stays
+        # zero-copy — the point of the mmap cold-start path.
         norms = np.linalg.norm(vectors, axis=1)
-        if np.abs(norms - 1.0).max() < 1e-12:
-            self._vectors = vectors.copy()
+        canonical = (np.abs(norms - 1.0) < unit_norm_tolerance(dtype)) | (
+            norms < ZERO_NORM_EPSILON
+        )
+        if bool(canonical.all()):
+            if converted or not vectors.flags.writeable:
+                self._vectors = vectors
+            else:
+                self._vectors = vectors.copy()
         else:
-            self._vectors = normalize_rows(vectors)
+            self._vectors = ensure_dtype(normalize_rows(vectors), dtype)
         self._records = list(records)
         self._scale_levels = scale_levels
+        self._compute_dtype = dtype
 
     # ------------------------------------------------------------------
     # shared accessors
@@ -126,6 +164,17 @@ class VectorStore(ABC):
     def dim(self) -> int:
         """Dimensionality of the stored vectors."""
         return self._vectors.shape[1]
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """The floating dtype scoring runs in (``float64`` or ``float32``).
+
+        Queries are converted to this dtype once at the store boundary
+        (:meth:`_check_query` / :meth:`_check_queries`); every score array the
+        store returns carries it, so the engine's pooling and selection
+        kernels inherit the tier without further conversions.
+        """
+        return self._compute_dtype
 
     @property
     def vectors(self) -> np.ndarray:
@@ -175,10 +224,15 @@ class VectorStore(ABC):
                 f"shared matrix shape {vectors.shape} does not match "
                 f"{self._vectors.shape}"
             )
+        if vectors.dtype != self._compute_dtype:
+            raise VectorStoreError(
+                f"shared matrix dtype {vectors.dtype} does not match the "
+                f"store's compute dtype {self._compute_dtype}"
+            )
         self._vectors = vectors
 
     def _check_query(self, query: np.ndarray) -> np.ndarray:
-        query = np.asarray(query, dtype=np.float64).ravel()
+        query = ensure_dtype(query, self._compute_dtype).ravel()
         if query.shape[0] != self.dim:
             raise VectorStoreError(
                 f"query dimension {query.shape[0]} does not match store dimension {self.dim}"
@@ -186,7 +240,7 @@ class VectorStore(ABC):
         return query
 
     def _check_queries(self, queries: np.ndarray) -> np.ndarray:
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        queries = np.atleast_2d(ensure_dtype(queries, self._compute_dtype))
         if queries.ndim != 2 or queries.shape[1] != self.dim:
             raise VectorStoreError(
                 f"queries must be (count x {self.dim}), got shape {queries.shape}"

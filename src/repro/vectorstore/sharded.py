@@ -36,6 +36,7 @@ from repro.exceptions import VectorStoreError
 from repro.vectorstore.base import VectorRecord, VectorStore, deterministic_top_k
 from repro.vectorstore.exact import ExactVectorStore
 from repro.vectorstore.forest import RandomProjectionForest
+from repro.vectorstore.quantized import QuantizedVectorStore
 
 StoreFactory = Callable[[np.ndarray, "list[VectorRecord]"], VectorStore]
 
@@ -61,8 +62,9 @@ class ShardedVectorStore(VectorStore):
         records: "list[VectorRecord]",
         n_shards: int = 2,
         store_factory: "StoreFactory | None" = None,
+        compute_dtype: "np.dtype | str | None" = None,
     ) -> None:
-        super().__init__(vectors, records)
+        super().__init__(vectors, records, compute_dtype=compute_dtype)
         if n_shards < 1:
             raise VectorStoreError(f"n_shards must be >= 1, got {n_shards}")
         factory = store_factory or ExactVectorStore
@@ -144,6 +146,14 @@ class ShardedVectorStore(VectorStore):
                     seed=forest.seed,
                 )
 
+        elif isinstance(template, QuantizedVectorStore):
+            quantized = template
+
+            def factory(vectors: np.ndarray, records: "list[VectorRecord]") -> VectorStore:
+                return QuantizedVectorStore(
+                    vectors, records, rerank_factor=quantized.rerank_factor
+                )
+
         elif isinstance(template, ExactVectorStore):
             factory = ExactVectorStore
         else:
@@ -206,7 +216,7 @@ class ShardedVectorStore(VectorStore):
     def score_all(self, query: np.ndarray) -> np.ndarray:
         """Bit-identical to the flat scan: shards fill one global column."""
         query = self._check_query(query)
-        out = np.empty(len(self), dtype=np.float64)
+        out = np.empty(len(self), dtype=self.compute_dtype)
 
         def run(shard: _Shard) -> None:
             out[shard.start : shard.stop] = shard.store.score_all(query)
@@ -217,7 +227,7 @@ class ShardedVectorStore(VectorStore):
     def score_many(self, queries: np.ndarray) -> np.ndarray:
         """Per-shard GEMMs filling one global ``(Q x vectors)`` matrix."""
         queries = self._check_queries(queries)
-        out = np.empty((queries.shape[0], len(self)), dtype=np.float64)
+        out = np.empty((queries.shape[0], len(self)), dtype=self.compute_dtype)
 
         def run(shard: _Shard) -> None:
             out[:, shard.start : shard.stop] = shard.store.score_many(queries)
@@ -256,7 +266,7 @@ class ShardedVectorStore(VectorStore):
         ids = np.concatenate([part[0] for part in parts])
         scores = np.concatenate([part[1] for part in parts])
         if ids.size == 0:
-            return np.zeros(0, dtype=np.int64), np.zeros(0)
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=self.compute_dtype)
         # Select and order with the exact store's deterministic rule (score
         # desc, global id asc, ties resolved smallest-id-first at the k-th
         # boundary) so the merged result is bit-identical to the unsharded

@@ -1,9 +1,11 @@
 """Cross-backend contract suite: every VectorStore obeys the same invariants.
 
 One parametrized suite, run against the exact store, the random-projection
-forest, and the sharded wrapper around each.  A new backend earns the whole
-suite by adding one line to ``BACKENDS`` — the invariants below are the
-interface the query engine (and everything above it) is written against:
+forest, the int8-quantized re-ranking store, and the sharded wrapper around
+each — with the exact and quantized backends additionally run in the
+float32 compute tier.  A new backend (or tier) earns the whole suite by
+adding one line to ``BACKENDS`` — the invariants below are the interface
+the query engine (and everything above it) is written against:
 
 * ``search`` is exactly the hit-object adapter over ``search_arrays``;
 * returned scores are true inner products of the returned vectors;
@@ -27,12 +29,22 @@ from repro.data.geometry import BoundingBox
 from repro.exceptions import VectorStoreError
 from repro.vectorstore import (
     ExactVectorStore,
+    QuantizedVectorStore,
     RandomProjectionForest,
     ShardedVectorStore,
     VectorRecord,
 )
 
 DIM = 24
+
+
+def _atol(store) -> float:
+    """Score-comparison tolerance matched to the store's compute tier.
+
+    float64 backends are held to the historical 1e-12; the float32 tier
+    carries ~1e-7 relative rounding, checked against float64 references.
+    """
+    return 1e-5 if store.compute_dtype == np.float32 else 1e-12
 
 
 def _corpus(seed: int = 11, image_count: int = 30):
@@ -57,10 +69,19 @@ def _corpus(seed: int = 11, image_count: int = 30):
 
 BACKENDS = {
     "exact": lambda v, r: ExactVectorStore(v, r),
+    "exact-f32": lambda v, r: ExactVectorStore(v, r, compute_dtype="float32"),
     "forest": lambda v, r: RandomProjectionForest(v, r, tree_count=4, leaf_size=8, seed=3),
+    "quantized": lambda v, r: QuantizedVectorStore(v, r),
+    "quantized-f32": lambda v, r: QuantizedVectorStore(v, r, compute_dtype="float32"),
     "sharded-exact": lambda v, r: ShardedVectorStore(v, r, n_shards=3),
+    "sharded-exact-f32": lambda v, r: ShardedVectorStore(
+        v, r, n_shards=3, compute_dtype="float32"
+    ),
     "sharded-forest": lambda v, r: ShardedVectorStore.wrap(
         RandomProjectionForest(v, r, tree_count=4, leaf_size=8, seed=3), 2
+    ),
+    "sharded-quantized": lambda v, r: ShardedVectorStore.wrap(
+        QuantizedVectorStore(v, r), 3
     ),
 }
 
@@ -90,8 +111,8 @@ class TestSearchContract:
     def test_scores_are_true_inner_products(self, store, queries):
         for query in queries:
             ids, scores = store.search_arrays(query, k=9)
-            expected = np.asarray(store.vectors)[ids] @ query
-            assert np.allclose(scores, expected, rtol=0, atol=1e-12)
+            expected = np.asarray(store.vectors, dtype=np.float64)[ids] @ query
+            assert np.allclose(scores, expected, rtol=0, atol=_atol(store))
 
     def test_results_sorted_best_first(self, store, queries):
         for query in queries:
@@ -164,15 +185,19 @@ class TestEdgeCases:
 
 class TestBulkScoring:
     def test_score_all_matches_manual_scan(self, store, queries):
-        matrix = np.asarray(store.vectors)
+        matrix = np.asarray(store.vectors, dtype=np.float64)
         for query in queries:
-            assert np.allclose(store.score_all(query), matrix @ query, rtol=0, atol=1e-12)
+            assert np.allclose(
+                store.score_all(query), matrix @ query, rtol=0, atol=_atol(store)
+            )
 
     def test_score_many_rows_match_score_all(self, store, queries):
         batch = store.score_many(queries)
         assert batch.shape == (queries.shape[0], len(store))
         for row, query in enumerate(queries):
-            assert np.allclose(batch[row], store.score_all(query), rtol=0, atol=1e-12)
+            assert np.allclose(
+                batch[row], store.score_all(query), rtol=0, atol=_atol(store)
+            )
 
     def test_score_many_rejects_bad_shapes(self, store):
         with pytest.raises(VectorStoreError, match="queries"):
@@ -189,6 +214,18 @@ class TestStructure:
         assert np.allclose(norms, 1.0)
         with pytest.raises(ValueError):
             store.vectors[0, 0] = 1.0
+
+    def test_compute_dtype_carried_by_every_score_array(self, store, queries):
+        # The tier contract: scores leave the store in its compute dtype, so
+        # the engine's pooling/selection kernels inherit the tier without
+        # conversions.  Stored vectors live in the same dtype.
+        dtype = store.compute_dtype
+        assert dtype in (np.dtype(np.float64), np.dtype(np.float32))
+        assert store.vectors.dtype == dtype
+        assert store.score_all(queries[0]).dtype == dtype
+        assert store.score_many(queries).dtype == dtype
+        _, scores = store.search_arrays(queries[0], k=5)
+        assert scores.dtype == dtype
 
     def test_exhaustive_flag_matches_backend_kind(self, store):
         # Exhaustive means the engine may full-scan via score_all; a sharded

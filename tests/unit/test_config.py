@@ -123,3 +123,37 @@ class TestScalingKnobs:
         described = SeeSawConfig(n_shards=3, batch_window_ms=5.0).describe()
         assert described["n_shards"] == 3
         assert described["batch_window_ms"] == 5.0
+
+
+class TestStorageComputeTierKnobs:
+    def test_defaults_are_bit_parity_float64_with_mmap(self):
+        config = SeeSawConfig()
+        assert config.compute_dtype == "float64"
+        assert config.quantized_store is False
+        assert config.quantized_rerank_factor == 4
+        assert config.mmap_index is True
+
+    def test_invalid_tier_values_rejected(self):
+        with pytest.raises(ConfigurationError, match="compute_dtype"):
+            SeeSawConfig(compute_dtype="float16")
+        with pytest.raises(ConfigurationError, match="quantized_rerank_factor"):
+            SeeSawConfig(quantized_rerank_factor=0)
+
+    def test_round_trip_through_dict(self):
+        config = SeeSawConfig(
+            compute_dtype="float32",
+            quantized_store=True,
+            quantized_rerank_factor=8,
+            mmap_index=False,
+        )
+        rebuilt = SeeSawConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_describe_reports_the_tier_knobs(self):
+        described = SeeSawConfig(
+            compute_dtype="float32", quantized_store=True
+        ).describe()
+        assert described["compute_dtype"] == "float32"
+        assert described["quantized_store"] is True
+        assert described["quantized_rerank_factor"] == 4
+        assert described["mmap_index"] is True

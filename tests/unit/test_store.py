@@ -203,3 +203,393 @@ class TestShardedTopologyAndCache:
         store = warm.index_for("tiny").store
         assert isinstance(store, ShardedVectorStore)
         assert store.n_shards == 3
+
+
+class TestMmapLayout:
+    """The raw .npy layout: zero-copy loads, with npz read-compat."""
+
+    def test_default_layout_is_raw_npy(self, saved_index):
+        assert (saved_index / "vectors.npy").exists()
+        assert not (saved_index / "arrays.npz").exists()
+
+    def test_mmap_load_is_zero_copy_and_read_only(
+        self, saved_index, tiny_index, tiny_dataset, tiny_clip
+    ):
+        loaded = load_index(saved_index, tiny_dataset, tiny_clip, mmap=True)
+        vectors = loaded.store.vectors
+        assert not vectors.flags.writeable
+        # The store adopted the on-disk mapping rather than copying it: the
+        # view's base chain bottoms out at the memmap.
+        base = vectors
+        while isinstance(base.base, np.ndarray):
+            base = base.base
+        assert isinstance(base, np.memmap)
+        assert np.array_equal(
+            np.asarray(vectors), np.asarray(tiny_index.store.vectors)
+        )
+
+    def test_materialised_load_when_mmap_disabled(
+        self, saved_index, tiny_dataset, tiny_clip
+    ):
+        loaded = load_index(saved_index, tiny_dataset, tiny_clip, mmap=False)
+        base = loaded.store.vectors
+        while isinstance(base.base, np.ndarray):
+            base = base.base
+        assert not isinstance(base, np.memmap)
+
+    def test_npz_layout_round_trips(self, tiny_index, tiny_dataset, tiny_clip, tmp_path):
+        directory = tmp_path / "compressed-entry"
+        save_index(tiny_index, directory, arrays_format="npz")
+        assert (directory / "arrays.npz").exists()
+        assert not (directory / "vectors.npy").exists()
+        loaded = load_index(directory, tiny_dataset, tiny_clip)
+        assert np.array_equal(
+            np.asarray(loaded.store.vectors), np.asarray(tiny_index.store.vectors)
+        )
+        assert np.array_equal(
+            loaded.knn_graph.neighbor_ids, tiny_index.knn_graph.neighbor_ids
+        )
+
+    def test_legacy_entry_without_format_key_loads(
+        self, tiny_index, tiny_dataset, tiny_clip, tmp_path
+    ):
+        """Entries written before arrays_format existed read as npz."""
+        import json
+
+        directory = tmp_path / "legacy-entry"
+        save_index(tiny_index, directory, arrays_format="npz")
+        meta_path = directory / META_FILE
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        del meta["arrays_format"]
+        meta_path.write_text(json.dumps(meta, sort_keys=True), encoding="utf-8")
+        loaded = load_index(directory, tiny_dataset, tiny_clip)
+        assert np.array_equal(
+            np.asarray(loaded.store.vectors), np.asarray(tiny_index.store.vectors)
+        )
+
+    def test_unknown_arrays_format_rejected(self, tiny_index, tmp_path):
+        with pytest.raises(StoreError, match="arrays format"):
+            save_index(tiny_index, tmp_path / "entry", arrays_format="parquet")
+
+
+class TestComputeDtypeTier:
+    """The compute dtype is an on-disk property: keyed, stored, round-tripped."""
+
+    def test_float32_changes_key_but_runtime_tiers_do_not(
+        self, tiny_dataset, tiny_clip
+    ):
+        base = SeeSawConfig(embedding_dim=64, seed=7)
+        f32 = base.with_overrides(compute_dtype="float32")
+        runtime = base.with_overrides(
+            quantized_store=True, quantized_rerank_factor=8, mmap_index=False
+        )
+        assert index_cache_key(tiny_dataset, tiny_clip, base) != index_cache_key(
+            tiny_dataset, tiny_clip, f32
+        )
+        assert index_cache_key(tiny_dataset, tiny_clip, base) == index_cache_key(
+            tiny_dataset, tiny_clip, runtime
+        )
+
+    def test_float32_index_round_trips_in_float32(
+        self, tiny_dataset, tiny_clip, tmp_path
+    ):
+        from repro.core.indexing import SeeSawIndex
+
+        config = SeeSawConfig(embedding_dim=64, seed=7, compute_dtype="float32")
+        index = SeeSawIndex.build(tiny_dataset, tiny_clip, config)
+        assert index.store.vectors.dtype == np.float32
+        directory = tmp_path / "f32-entry"
+        save_index(index, directory)
+        loaded = load_index(directory, tiny_dataset, tiny_clip)
+        assert loaded.store.vectors.dtype == np.float32
+        # Bit-identical round trip: stored in the compute dtype, re-adopted
+        # without renormalisation.
+        assert np.array_equal(
+            np.asarray(loaded.store.vectors), np.asarray(index.store.vectors)
+        )
+
+    def test_quantized_store_kind_round_trips(
+        self, tiny_dataset, tiny_clip, tmp_path
+    ):
+        from repro.core.indexing import SeeSawIndex
+        from repro.vectorstore import QuantizedVectorStore
+
+        config = SeeSawConfig(embedding_dim=64, seed=7, quantized_rerank_factor=6)
+        index = SeeSawIndex.build(
+            tiny_dataset, tiny_clip, config, store_kind="quantized"
+        )
+        directory = tmp_path / "quantized-entry"
+        save_index(index, directory)
+        loaded = load_index(directory, tiny_dataset, tiny_clip)
+        assert isinstance(loaded.store, QuantizedVectorStore)
+        assert loaded.store.rerank_factor == 6
+
+
+class TestBuildSingleFlight:
+    """Concurrent cold starts sharing a cache dir pay exactly one build."""
+
+    def _config(self) -> SeeSawConfig:
+        return SeeSawConfig(embedding_dim=64, seed=7)
+
+    def test_concurrent_load_or_build_builds_once(
+        self, tmp_path, tiny_dataset, tiny_clip, monkeypatch
+    ):
+        import threading
+
+        from repro.core.indexing import SeeSawIndex
+
+        # Two caches over one directory model two cold processes.
+        caches = [
+            IndexCache(tmp_path / "cache", lock_poll_seconds=0.005) for _ in range(2)
+        ]
+        real_build = SeeSawIndex.build
+        builds = []
+        entered = threading.Event()
+
+        def slow_build(*args, **kwargs):
+            builds.append(threading.get_ident())
+            entered.set()
+            import time as _time
+
+            _time.sleep(0.05)  # hold the build long enough for a real race
+            return real_build(*args, **kwargs)
+
+        monkeypatch.setattr(SeeSawIndex, "build", slow_build)
+        results = [None, None]
+
+        def run(slot):
+            results[slot] = caches[slot].load_or_build(
+                tiny_dataset, tiny_clip, self._config()
+            )
+
+        threads = [threading.Thread(target=run, args=(slot,)) for slot in range(2)]
+        threads[0].start()
+        entered.wait(timeout=5)
+        threads[1].start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(builds) == 1
+        cached_flags = sorted(result[1] for result in results)
+        assert cached_flags == [False, True]
+        assert np.allclose(
+            results[0][0].store.vectors, results[1][0].store.vectors
+        )
+        # The sentinel was released.
+        key = caches[0].key(tiny_dataset, tiny_clip, self._config())
+        assert not caches[0].build_lock_path(key).exists()
+
+    def test_waiter_loads_entry_finished_by_lock_holder(
+        self, tmp_path, tiny_dataset, tiny_clip
+    ):
+        import threading
+
+        cache = IndexCache(tmp_path / "cache", lock_poll_seconds=0.005)
+        config = self._config()
+        key = cache.key(tiny_dataset, tiny_clip, config)
+        # A foreign "process" holds the build lock...
+        token = cache._try_acquire_build_lock(key)
+        assert token is not None
+        result = {}
+
+        def run():
+            result["value"] = cache.load_or_build(tiny_dataset, tiny_clip, config)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        # ...finishes its build and releases; the waiter must load, not build.
+        builder = IndexCache(tmp_path / "cache")
+        from repro.core.indexing import SeeSawIndex
+
+        builder.store(key, SeeSawIndex.build(tiny_dataset, tiny_clip, config))
+        cache._release_build_lock(key, token)
+        thread.join(timeout=30)
+        index, was_cached = result["value"]
+        assert was_cached
+        assert index.store.vectors.shape[0] > 0
+
+    def test_stale_lock_is_stolen(self, tmp_path, tiny_dataset, tiny_clip):
+        import os
+        import time
+
+        cache = IndexCache(
+            tmp_path / "cache", lock_poll_seconds=0.005, lock_stale_seconds=0.01
+        )
+        config = self._config()
+        key = cache.key(tiny_dataset, tiny_clip, config)
+        # A crashed builder left its sentinel behind, long ago.
+        assert cache._try_acquire_build_lock(key) is not None
+        stale = time.time() - 60.0
+        os.utime(cache.build_lock_path(key), (stale, stale))
+        index, was_cached = cache.load_or_build(tiny_dataset, tiny_clip, config)
+        assert not was_cached  # the steal proceeded to a fresh build
+        assert cache.contains(key)
+        assert not cache.build_lock_path(key).exists()
+
+
+class TestServiceStoreTiers:
+    """The service applies runtime tiers on load and reports them."""
+
+    def test_quantized_tier_applied_and_composed_with_sharding(
+        self, tiny_dataset, tiny_clip, tmp_path
+    ):
+        from repro.server import SeeSawService
+        from repro.vectorstore import QuantizedVectorStore, ShardedVectorStore
+
+        cache_dir = str(tmp_path / "cache")
+        flat = SeeSawService(
+            SeeSawConfig(embedding_dim=64, seed=7, index_cache_dir=cache_dir)
+        )
+        flat.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+
+        tiered = SeeSawService(
+            SeeSawConfig(
+                embedding_dim=64,
+                seed=7,
+                index_cache_dir=cache_dir,
+                quantized_store=True,
+                quantized_rerank_factor=5,
+                n_shards=2,
+            )
+        )
+        tiered.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+        # Same cache entry (runtime tiers are excluded from the key)...
+        assert tiered.cache_hits == 1
+        store = tiered.index_for("tiny").store
+        # ...loaded as quantized shards.
+        assert isinstance(store, ShardedVectorStore)
+        assert all(
+            isinstance(inner, QuantizedVectorStore) for inner in store.shard_stores
+        )
+        tiers = tiered.store_tiers
+        assert tiers["tiny"]["quantized"] is True
+        assert tiers["tiny"]["rerank_factor"] == 5
+        assert tiers["tiny"]["shards"] == 2
+        assert tiers["tiny"]["compute_dtype"] == "float64"
+
+    def test_healthz_reports_storage_and_compute_tiers(
+        self, tiny_dataset, tiny_clip, tmp_path
+    ):
+        from repro.server import SeeSawService
+        from repro.server.manager import SessionManager
+
+        service = SeeSawService(
+            SeeSawConfig(
+                embedding_dim=64,
+                seed=7,
+                index_cache_dir=str(tmp_path / "cache"),
+                compute_dtype="float32",
+                quantized_store=True,
+            )
+        )
+        service.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+        health = SessionManager(service).health()
+        assert health["compute_dtype"] == "float32"
+        assert health["quantized_store"] is True
+        assert health["mmap_index"] is True
+        assert health["store_tiers"]["tiny"]["compute_dtype"] == "float32"
+        assert health["store_tiers"]["tiny"]["quantized"] is True
+
+    def test_float32_sessions_return_results(self, tiny_dataset, tiny_clip, tmp_path):
+        """A float32 + quantized service serves a full interactive round."""
+        from repro.server import SeeSawService
+        from repro.server.api import StartSessionRequest
+
+        service = SeeSawService(
+            SeeSawConfig(
+                embedding_dim=64,
+                seed=7,
+                compute_dtype="float32",
+                quantized_store=True,
+            )
+        )
+        service.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+        info = service.start_session(
+            StartSessionRequest(dataset="tiny", text_query="cat_easy", batch_size=4)
+        )
+        response = service.next_results(info.session_id)
+        assert len(response.items) == 4
+        assert all(np.isfinite(item.score) for item in response.items)
+
+
+class TestReviewRegressions:
+    """Pins for the review findings on the tier/lock machinery."""
+
+    def test_rerank_factor_keys_quantized_builds_only(self, tiny_dataset, tiny_clip):
+        base = SeeSawConfig(embedding_dim=64, seed=7)
+        retuned = base.with_overrides(quantized_rerank_factor=8)
+        # For the quantized store kind the factor is baked into the entry,
+        # so it must change the key...
+        assert index_cache_key(
+            tiny_dataset, tiny_clip, base, store_kind="quantized"
+        ) != index_cache_key(tiny_dataset, tiny_clip, retuned, store_kind="quantized")
+        # ...while for exact entries (the runtime-tier path) it stays out.
+        assert index_cache_key(tiny_dataset, tiny_clip, base) == index_cache_key(
+            tiny_dataset, tiny_clip, retuned
+        )
+
+    def test_zero_row_corpus_round_trips_through_mmap(self, tmp_path):
+        """Zero vectors are canonical: they must not break the zero-copy load."""
+        from repro.data.geometry import BoundingBox
+        from repro.vectorstore import ExactVectorStore, VectorRecord
+
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((6, 8))
+        vectors[2] = 0.0  # a legitimately zero (e.g. padded) vector
+        records = [
+            VectorRecord(vector_id=i, image_id=i, box=BoundingBox(0, 0, 4, 4))
+            for i in range(6)
+        ]
+        store = ExactVectorStore(vectors, records)
+        assert np.all(store.vectors[2] == 0.0)
+        # Re-adopting the canonical rows (as a cache load does) is zero-copy.
+        readopted = ExactVectorStore(store.vectors, records)
+        assert np.shares_memory(readopted.vectors, store.vectors)
+
+    def test_slow_builder_does_not_release_a_stolen_lock(
+        self, tmp_path, tiny_dataset, tiny_clip
+    ):
+        cache_a = IndexCache(tmp_path / "cache")
+        cache_b = IndexCache(tmp_path / "cache", lock_stale_seconds=0.01)
+        config = SeeSawConfig(embedding_dim=64, seed=7)
+        key = cache_a.key(tiny_dataset, tiny_clip, config)
+        # A claims, then stalls past staleness; B steals and re-claims.
+        token_a = cache_a._try_acquire_build_lock(key)
+        assert token_a is not None
+        import os as _os
+        import time as _time
+
+        stale = _time.time() - 60.0
+        _os.utime(cache_a.build_lock_path(key), (stale, stale))
+        assert cache_b._lock_is_stale(key)
+        cache_b._steal_stale_lock(key)
+        token_b = cache_b._try_acquire_build_lock(key)
+        assert token_b is not None
+        # A finishing late must not delete B's live sentinel — even when A
+        # and B are threads of the same cache instance (tokens are local to
+        # each claim, never shared instance state).
+        cache_a._release_build_lock(key, token_a)
+        assert cache_a.build_lock_path(key).exists()
+        cache_b._release_build_lock(key, token_b)
+        assert not cache_b.build_lock_path(key).exists()
+
+    def test_stale_steal_is_single_winner(self, tmp_path, tiny_dataset, tiny_clip):
+        cache = IndexCache(tmp_path / "cache")
+        config = SeeSawConfig(embedding_dim=64, seed=7)
+        key = cache.key(tiny_dataset, tiny_clip, config)
+        assert cache._try_acquire_build_lock(key) is not None
+        # A steal decided against a sentinel that turned out to be fresh
+        # (another waiter re-claimed between the staleness check and the
+        # rename) must restore it, not delete it.
+        cache._steal_stale_lock(key)
+        assert cache.build_lock_path(key).exists()
+        # Once genuinely stale, exactly one stealer removes it; a second
+        # stealer's rename has already lost and is a silent no-op.
+        import os as _os
+        import time as _time
+
+        stale = _time.time() - 2 * cache.lock_stale_seconds
+        _os.utime(cache.build_lock_path(key), (stale, stale))
+        cache._steal_stale_lock(key)
+        cache._steal_stale_lock(key)
+        other = IndexCache(tmp_path / "cache")
+        assert other._try_acquire_build_lock(key) is not None

@@ -6,12 +6,17 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.utils.linalg import (
     angular_distance,
+    assert_no_copy,
     cosine_similarity,
+    ensure_dtype,
     normalize_rows,
     normalize_vector,
     pairwise_inner,
     random_unit_vectors,
+    resolve_compute_dtype,
     rotate_towards,
+    unit_norm_tolerance,
+    unit_rows,
 )
 from repro.utils.rng import (
     derive_rng,
@@ -120,3 +125,53 @@ class TestValidation:
         check_unit_norm("v", np.array([1.0, 0.0]))
         with pytest.raises(ConfigurationError):
             check_unit_norm("v", np.array([2.0, 0.0]))
+
+
+class TestComputeDtypeHelpers:
+    """The dtype-tier plumbing: zero-copy pass-throughs and their guards."""
+
+    def test_resolve_compute_dtype(self):
+        assert resolve_compute_dtype(None) == np.float64
+        assert resolve_compute_dtype("float32") == np.float32
+        assert resolve_compute_dtype(np.float64) == np.float64
+        with pytest.raises(ValueError, match="compute dtype"):
+            resolve_compute_dtype("float16")
+        with pytest.raises(ValueError, match="compute dtype"):
+            resolve_compute_dtype(np.int8)
+
+    def test_unit_norm_tolerance_scales_with_precision(self):
+        assert unit_norm_tolerance(np.float64) == 1e-12
+        assert unit_norm_tolerance(np.float32) == 1e-6
+
+    def test_ensure_dtype_is_identity_when_already_there(self):
+        array = np.ones((4, 3), dtype=np.float32)
+        assert ensure_dtype(array, np.float32) is array
+        converted = ensure_dtype(array, np.float64)
+        assert converted.dtype == np.float64
+        assert converted is not array
+
+    def test_assert_no_copy_accepts_views_and_rejects_copies(self):
+        array = np.arange(12.0).reshape(3, 4)
+        view = array.view()
+        assert assert_no_copy(array, view) is view
+        assert assert_no_copy(array, array) is array
+        with pytest.raises(AssertionError, match="zero-copy"):
+            assert_no_copy(array, array.copy())
+
+    def test_unit_rows_passes_unit_input_through_without_copying(self):
+        rows = random_unit_vectors(8, 16, seed=0)
+        assert unit_rows(rows) is rows
+        f32 = rows.astype(np.float32)
+        assert unit_rows(f32) is f32
+
+    def test_unit_rows_normalizes_non_unit_input(self):
+        rng = np.random.default_rng(1)
+        raw = 3.0 * rng.standard_normal((5, 8))
+        normalized = unit_rows(raw)
+        assert normalized is not raw
+        assert np.allclose(np.linalg.norm(normalized, axis=1), 1.0)
+        # dtype is preserved for compute dtypes...
+        raw32 = raw.astype(np.float32)
+        assert unit_rows(raw32).dtype == np.float32
+        # ...and promoted to float64 for everything else.
+        assert unit_rows(np.array([[3, 4]], dtype=np.int64)).dtype == np.float64
