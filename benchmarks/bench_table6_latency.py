@@ -4,6 +4,7 @@ from repro.bench.experiments import (
     table6_dtype_throughput,
     table6_engine_latency,
     table6_latency,
+    table6_protocol_streaming,
     table6_service_latency,
     table6_sharded_latency,
 )
@@ -108,6 +109,39 @@ def test_table6_dtype_throughput(benchmark, bundles, save_report, tmp_path):
     assert loads["npy-mmap"] < loads["npz-compressed"], (
         f"mmap cold load did not beat compressed: "
         f"{loads['npy-mmap']:.3f}ms vs {loads['npz-compressed']:.3f}ms"
+    )
+
+
+def test_table6_protocol_streaming(benchmark, bundles, save_report):
+    """Protocol rows: `/v1` next-batch delivery, chunked NDJSON streaming vs
+    single-shot JSON, over real HTTP.  Item parity between the two delivery
+    modes is asserted inside the experiment; the gates here are about wire
+    behaviour, with generous headroom — these are millisecond-scale localhost
+    timings and the win being measured (first paint before the full body
+    lands) only grows with batch size and real network latency."""
+    result = benchmark.pedantic(
+        lambda: table6_protocol_streaming(bundles["bdd"], repeats=5),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("table6_protocol_streaming", result.format_text())
+    streaming = result.by_mode("ndjson")
+    single = result.by_mode("json")
+    assert set(streaming) == set(single) and streaming
+    largest = max(streaming)
+    # Streaming must deliver the first decodable item no later than (a
+    # generous multiple of) the single-shot body — the whole point of the
+    # NDJSON path is that first paint does not wait for the last byte.
+    assert streaming[largest]["first_item_ms"] <= single[largest]["total_ms"] * 1.5, (
+        f"streaming first item slower than the whole single-shot body: "
+        f"{streaming[largest]['first_item_ms']:.3f}ms vs "
+        f"{single[largest]['total_ms']:.3f}ms"
+    )
+    # And line framing must not make the full batch materially slower.
+    assert streaming[largest]["total_ms"] <= single[largest]["total_ms"] * 2.0, (
+        f"streaming total regressed vs single-shot: "
+        f"{streaming[largest]['total_ms']:.3f}ms vs "
+        f"{single[largest]['total_ms']:.3f}ms"
     )
 
 

@@ -10,7 +10,11 @@ The script demonstrates all three layers of the service subsystem:
    and exposes the JSON API on an ephemeral port.
 3. **Concurrent traffic:** 8 client threads each run a full interactive
    session (start → next → feedback → next) against the child server through
-   the typed :class:`ServiceClient`.
+   the typed `/v1` :class:`HTTPClient` — capability discovery up front,
+   chunked NDJSON streaming for the first batch, idempotency keys on every
+   feedback call (each one is retried once to prove replays are free), and
+   a legacy :class:`ServiceClient` round at the end showing the unversioned
+   routes still serve pre-`/v1` callers unchanged.
 
 Run with:  python examples/service_demo.py
 """
@@ -31,6 +35,7 @@ from repro.embedding import SyntheticClip
 from repro.server import (
     BoxPayload,
     FeedbackRequest,
+    HTTPClient,
     SeeSawApp,
     SeeSawService,
     ServiceClient,
@@ -92,8 +97,15 @@ def serve(cache_dir: str, ready_file: str) -> None:
 
 
 def run_one_session(base_url: str, worker: int) -> "tuple[str, int, int]":
-    """One simulated user: start a session, page through results, send feedback."""
-    client = ServiceClient(base_url)
+    """One simulated user driving the `/v1` protocol end to end.
+
+    Round 1 renders incrementally off the chunked NDJSON stream; later
+    rounds use the single-shot path.  Every feedback call carries an
+    idempotency key and is sent twice — the replay returns the recorded
+    result without double-applying, which is what makes client-side retry
+    loops safe against timeouts.
+    """
+    client = HTTPClient(base_url, client_id=f"demo-worker-{worker}")
     dataset_name = DATASETS[worker % len(DATASETS)]
     query = QUERIES[worker % len(QUERIES)]
     dataset = load_dataset(dataset_name, seed=SEED, size_scale=SIZE_SCALE)
@@ -101,21 +113,26 @@ def run_one_session(base_url: str, worker: int) -> "tuple[str, int, int]":
     info = client.start_session(
         StartSessionRequest(dataset=dataset_name, text_query=query, batch_size=3)
     )
-    for _ in range(ROUNDS_PER_SESSION):
-        response = client.next_results(info.session_id)
-        for item in response.items:
+    for round_index in range(ROUNDS_PER_SESSION):
+        if round_index == 0:
+            items = list(client.stream_next_results(info.session_id))
+        else:
+            items = list(client.next_results(info.session_id).items)
+        for item in items:
             boxes = dataset.image(item.image_id).ground_truth_boxes(category)
-            client.give_feedback(
-                FeedbackRequest(
-                    session_id=info.session_id,
-                    image_id=item.image_id,
-                    relevant=bool(boxes),
-                    boxes=[
-                        BoxPayload(box.x, box.y, box.width, box.height)
-                        for box in boxes
-                    ],
-                )
+            feedback = FeedbackRequest(
+                session_id=info.session_id,
+                image_id=item.image_id,
+                relevant=bool(boxes),
+                boxes=[
+                    BoxPayload(box.x, box.y, box.width, box.height)
+                    for box in boxes
+                ],
             )
+            key = f"{info.session_id}-r{round_index}-i{item.image_id}"
+            first = client.give_feedback(feedback, idempotency_key=key)
+            replay = client.give_feedback(feedback, idempotency_key=key)
+            assert replay == first, "idempotent replay must not re-apply"
     summary = client.session_info(info.session_id)
     client.close_session(info.session_id)
     return summary.session_id, summary.total_shown, summary.positives_found
@@ -163,10 +180,22 @@ def main() -> None:
             )
 
             # --------------------------------------------------------------
-            # 3. Concurrent traffic: 8 sessions in parallel over HTTP.
+            # 3. Concurrent traffic: 8 sessions in parallel over /v1.
             # --------------------------------------------------------------
-            client = ServiceClient(ready["url"])
-            print(f"[http ] healthz: {client.healthz()}")
+            client = HTTPClient(ready["url"], client_id="demo-main")
+            capabilities = client.capabilities()
+            print(
+                f"[v1   ] protocol {capabilities['protocol']['version']} "
+                f"rev {capabilities['protocol']['revision']}, features on: "
+                + ", ".join(
+                    sorted(
+                        name
+                        for name, enabled in capabilities["features"].items()
+                        if enabled
+                    )
+                )
+            )
+            print(f"[v1   ] healthz: {client.healthz()}")
             start = time.perf_counter()
             with ThreadPoolExecutor(max_workers=CONCURRENT_SESSIONS) as pool:
                 outcomes = list(
@@ -178,12 +207,33 @@ def main() -> None:
             elapsed = time.perf_counter() - start
             for session_id, shown, positives in outcomes:
                 print(
-                    f"[http ]   {session_id}: {positives} relevant "
+                    f"[v1   ]   {session_id}: {positives} relevant "
                     f"of {shown} shown"
                 )
             print(
-                f"[http ] {len(outcomes)} concurrent sessions completed "
-                f"without error in {elapsed:.2f}s"
+                f"[v1   ] {len(outcomes)} concurrent sessions completed "
+                f"without error in {elapsed:.2f}s "
+                f"(streamed first rounds, idempotent feedback replays)"
+            )
+
+            # --------------------------------------------------------------
+            # 4. Back-compat: the pre-/v1 client drives the same server and
+            #    the same session space, unchanged.
+            # --------------------------------------------------------------
+            legacy = ServiceClient(ready["url"])
+            legacy_info = legacy.start_session(
+                StartSessionRequest(
+                    dataset=DATASETS[0], text_query=QUERIES[0], batch_size=2
+                )
+            )
+            listed = [
+                entry.info.session_id for entry in client.iter_sessions(page_size=4)
+            ]
+            assert legacy_info.session_id in listed, "legacy session not listed in /v1"
+            legacy.close_session(legacy_info.session_id)
+            print(
+                "[compat] legacy unversioned routes still served; their "
+                "sessions appear in GET /v1/sessions"
             )
         finally:
             child.terminate()

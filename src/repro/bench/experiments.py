@@ -29,6 +29,7 @@ from repro.bench.tasks import BenchmarkQuery
 from repro.config import LossWeights, SeeSawConfig
 from repro.core.seesaw_method import SeeSawSearchMethod
 from repro.embedding.calibration import PlattScaler
+from repro.exceptions import BenchmarkError
 from repro.metrics.aggregates import (
     HARD_SUBSET_THRESHOLD,
     ApDistribution,
@@ -811,6 +812,122 @@ def table6_service_latency(
             }
         )
     return ServiceLatencyResult(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Table 6 (protocol) — `/v1` streaming NDJSON vs single-shot JSON
+# ---------------------------------------------------------------------------
+@dataclass
+class ProtocolStreamingResult:
+    """Wire-level latency of `/v1` next-batch delivery, per mode and count."""
+
+    rows: "list[dict[str, object]]"
+
+    def format_text(self) -> str:
+        columns = ["count", "mode", "first_item_ms", "total_ms"]
+        table_rows = [[row[column] for column in columns] for row in self.rows]
+        return format_table(
+            columns,
+            table_rows,
+            title=(
+                "Table 6 (protocol): /v1 next-batch delivery, "
+                "streaming NDJSON vs single-shot JSON"
+            ),
+            float_format="{:.3f}",
+        )
+
+    def by_mode(self, mode: str) -> "dict[int, dict[str, float]]":
+        """``count -> row`` for one delivery mode (gate helper)."""
+        return {
+            int(row["count"]): {
+                "first_item_ms": float(row["first_item_ms"]),
+                "total_ms": float(row["total_ms"]),
+            }
+            for row in self.rows
+            if row["mode"] == mode
+        }
+
+
+def table6_protocol_streaming(
+    bundle: DatasetBundle,
+    counts: Sequence[int] = (8, 32, 128),
+    repeats: int = 5,
+) -> ProtocolStreamingResult:
+    """Measure `/v1` result delivery: chunked NDJSON vs one JSON body.
+
+    Both modes compute the batch identically server-side; the question is
+    wire behaviour — how soon the *first* item is decodable client-side
+    (what a UI paints) vs the total time for the batch.  Each measurement
+    uses a fresh session so every fetch returns exactly ``count`` unseen
+    items; item identity between the two modes is asserted, not assumed.
+    Timings are min-of-``repeats``.
+    """
+    import time
+
+    from repro.server import (
+        HTTPClient,
+        SeeSawApp,
+        SeeSawService,
+        SessionManager,
+        StartSessionRequest,
+        serve_in_background,
+    )
+
+    query = bundle.queries(ExperimentScale())[0].prompt
+    available = len(bundle.dataset.images)
+    counts = [count for count in counts if count <= available] or [available]
+    service = SeeSawService(bundle.config)
+    service.register_dataset(bundle.dataset, bundle.embedding, preprocess=True)
+    app = SeeSawApp(SessionManager(service))
+    rows: "list[dict[str, object]]" = []
+    with serve_in_background(app) as server:
+        client = HTTPClient(server.url, client_id="bench-protocol")
+        for count in counts:
+            reference_ids: "list[int] | None" = None
+            for mode in ("json", "ndjson"):
+                best_first = float("inf")
+                best_total = float("inf")
+                for _ in range(repeats):
+                    info = client.start_session(
+                        StartSessionRequest(
+                            dataset=bundle.dataset.name,
+                            text_query=query,
+                            batch_size=count,
+                        )
+                    )
+                    begin = time.perf_counter()
+                    if mode == "json":
+                        response = client.next_results(info.session_id)
+                        total = time.perf_counter() - begin
+                        first = total
+                        image_ids = [item.image_id for item in response.items]
+                    else:
+                        first = float("inf")
+                        image_ids = []
+                        for item in client.stream_next_results(info.session_id):
+                            if not image_ids:
+                                first = time.perf_counter() - begin
+                            image_ids.append(item.image_id)
+                        total = time.perf_counter() - begin
+                    client.close_session(info.session_id)
+                    if reference_ids is None:
+                        reference_ids = image_ids
+                    elif image_ids != reference_ids:
+                        raise BenchmarkError(
+                            f"Delivery modes disagree at count={count}: "
+                            f"{mode} returned different items"
+                        )
+                    best_first = min(best_first, first)
+                    best_total = min(best_total, total)
+                rows.append(
+                    {
+                        "count": count,
+                        "mode": mode,
+                        "first_item_ms": best_first * 1000.0,
+                        "total_ms": best_total * 1000.0,
+                    }
+                )
+    return ProtocolStreamingResult(rows=rows)
 
 
 # ---------------------------------------------------------------------------

@@ -186,6 +186,18 @@ class SeeSawConfig:
     keeps ``rerank_factor * k`` candidates for the exact re-rank.  At the
     default the re-ranked top-k is empirically identical to the exact
     store's top-k (recall@k = 1.0 on the contract-suite indexes)."""
+    rate_limit_rps: float = 0.0
+    """Sustained per-client request budget (requests/second) enforced by the
+    app layer's token-bucket middleware.  Clients are keyed by the
+    ``X-Client-Id`` header when present, else by remote address; a drained
+    bucket returns the structured 429 envelope (``code="rate_limited"``,
+    ``retryable=true``).  ``0`` disables rate limiting (the default — the
+    contract and load suites drive the service far faster than any sane
+    production budget)."""
+    rate_limit_burst: int = 20
+    """Bucket capacity of the rate limiter: how many requests a client may
+    issue back-to-back before the sustained ``rate_limit_rps`` applies.
+    Ignored when rate limiting is disabled."""
     mmap_index: bool = True
     """Load index-cache arrays with ``mmap_mode="r"`` (zero-copy, page-cache
     backed) when the on-disk entry uses the raw ``.npy`` layout.  Cold
@@ -214,6 +226,14 @@ class SeeSawConfig:
             raise ConfigurationError(
                 f"quantized_rerank_factor must be >= 1, got "
                 f"{self.quantized_rerank_factor}"
+            )
+        if self.rate_limit_rps < 0:
+            raise ConfigurationError(
+                f"rate_limit_rps must be >= 0, got {self.rate_limit_rps}"
+            )
+        if self.rate_limit_burst < 1:
+            raise ConfigurationError(
+                f"rate_limit_burst must be >= 1, got {self.rate_limit_burst}"
             )
 
     def with_overrides(self, **overrides: Any) -> "SeeSawConfig":
@@ -264,6 +284,8 @@ class SeeSawConfig:
             "compute_dtype": self.compute_dtype,
             "quantized_store": self.quantized_store,
             "quantized_rerank_factor": self.quantized_rerank_factor,
+            "rate_limit_rps": self.rate_limit_rps,
+            "rate_limit_burst": self.rate_limit_burst,
             "mmap_index": self.mmap_index,
         }
 

@@ -48,6 +48,23 @@ class ServiceOverloadedError(SessionError):
     """The service is at its concurrent-session capacity (HTTP 503)."""
 
 
+class RateLimitedError(ReproError):
+    """A client exceeded its request budget (HTTP 429); safe to retry later."""
+
+
+class InternalServiceError(ReproError):
+    """The server failed unexpectedly (HTTP 500).
+
+    Raised client-side when a `/v1` error envelope carries the ``internal``
+    code, so callers can tell a transient server fault (retryable) from the
+    non-retryable 4xx families without parsing envelopes themselves.
+    """
+
+
+class IdempotencyConflictError(SessionError):
+    """An idempotency key was replayed with a different payload (HTTP 409)."""
+
+
 class TransportError(ReproError):
     """An HTTP request or response payload is malformed."""
 

@@ -1,26 +1,36 @@
 """Server layer: the query-aligner service mediating UI and index (§2).
 
-Three layers, innermost out:
+Innermost out:
 
 * :class:`SeeSawService` — the in-process registry of datasets, indexes, and
   live sessions (single-threaded);
 * :class:`SessionManager` — thread-safe session engine (per-session locks,
-  capacity limits, TTL eviction, double-checked index builds);
-* :class:`SeeSawApp` + the HTTP transport — JSON endpoints over stdlib
-  ``ThreadingHTTPServer``, with :class:`ServiceClient` as the typed caller.
+  capacity limits, TTL eviction, idempotent feedback, double-checked index
+  builds);
+* :class:`SeeSawApp` — the versioned `/v1` wire protocol plus the legacy
+  unversioned routes, behind a middleware pipeline (request ids, access
+  logs, rate limiting), over the stdlib ``ThreadingHTTPServer`` transport;
+* :class:`SeeSawClientProtocol` — the transport-agnostic client surface,
+  implemented by :class:`InProcessClient` (no sockets) and
+  :class:`HTTPClient` (the `/v1` wire client); :class:`ServiceClient` is the
+  preserved legacy-route client.
 """
 
 from repro.server.api import (
+    PROTOCOL_REVISION,
+    PROTOCOL_VERSION,
     BoxPayload,
     FeedbackRequest,
     NextResultsResponse,
     ResultItem,
     SessionInfo,
+    SessionListEntry,
+    SessionPage,
     StartSessionRequest,
 )
-from repro.server.app import SeeSawApp
+from repro.server.app import SeeSawApp, default_middlewares
 from repro.server.batching import NextBatchCoalescer
-from repro.server.client import ServiceClient
+from repro.server.client import HTTPClient, ServiceClient
 from repro.server.http import (
     BackgroundServer,
     SeeSawHTTPServer,
@@ -28,22 +38,45 @@ from repro.server.http import (
     serve_in_background,
 )
 from repro.server.manager import SessionManager
+from repro.server.middleware import (
+    AccessLogMiddleware,
+    MiddlewarePipeline,
+    RateLimitMiddleware,
+    Request,
+    RequestIdMiddleware,
+    Response,
+)
+from repro.server.protocol import InProcessClient, SeeSawClientProtocol
 from repro.server.service import SeeSawService
 
 __all__ = [
     "SeeSawService",
     "SessionManager",
     "SeeSawApp",
+    "default_middlewares",
     "NextBatchCoalescer",
+    "SeeSawClientProtocol",
+    "InProcessClient",
+    "HTTPClient",
     "ServiceClient",
     "SeeSawHTTPServer",
     "BackgroundServer",
     "serve_in_background",
     "serve_forever",
+    "MiddlewarePipeline",
+    "Request",
+    "Response",
+    "RequestIdMiddleware",
+    "AccessLogMiddleware",
+    "RateLimitMiddleware",
+    "PROTOCOL_VERSION",
+    "PROTOCOL_REVISION",
     "StartSessionRequest",
     "BoxPayload",
     "FeedbackRequest",
     "NextResultsResponse",
     "ResultItem",
     "SessionInfo",
+    "SessionListEntry",
+    "SessionPage",
 ]

@@ -13,6 +13,15 @@ from typing import Sequence
 
 from repro.data.geometry import BoundingBox
 
+PROTOCOL_VERSION = "v1"
+"""URL prefix of the versioned wire protocol (``GET /v1/...``).  Bumped only
+on breaking changes; within a version, additions are announced through the
+``revision`` counter and ``GET /v1/capabilities``."""
+
+PROTOCOL_REVISION = 1
+"""Monotonic feature counter within the protocol version.  Clients that need
+a newly added capability compare against this instead of sniffing routes."""
+
 
 @dataclass(frozen=True)
 class StartSessionRequest:
@@ -92,3 +101,26 @@ class SessionInfo:
     total_shown: int
     positives_found: int
     rounds: int
+
+
+@dataclass(frozen=True)
+class SessionListEntry:
+    """One row of ``GET /v1/sessions``: progress summary plus telemetry."""
+
+    info: SessionInfo
+    idle_seconds: float
+    lookup_seconds: float
+    update_seconds: float
+
+
+@dataclass(frozen=True)
+class SessionPage:
+    """One cursor-delimited page of the session listing.
+
+    ``next_cursor`` is an opaque token; ``None`` means this page reaches the
+    end of the listing *as of this request* (sessions started later appear
+    on a fresh listing, never retroactively inside an already-read page).
+    """
+
+    sessions: Sequence[SessionListEntry]
+    next_cursor: "str | None"

@@ -1,30 +1,55 @@
 """Transport-agnostic request router for the SeeSaw service.
 
-The :class:`SeeSawApp` maps ``(method, path, body)`` to a status code and a
-JSON-serializable payload.  It owns URL parsing, codec invocation, and the
-exception→status mapping; it knows nothing about sockets, which keeps the
-whole routing layer unit-testable without binding a port.
+The :class:`SeeSawApp` maps a decoded transport request to a
+:class:`~repro.server.middleware.Response`.  It owns URL parsing, codec
+invocation, the middleware pipeline, and the exception→envelope mapping; it
+knows nothing about sockets, which keeps the whole routing layer
+unit-testable without binding a port.
 
-Endpoints
----------
-``GET  /healthz``                    liveness + registry summary
-``POST /sessions``                   start a session (StartSessionRequest body)
-``POST /sessions/batch-next``        fused next batches for many sessions
-``GET  /sessions/{id}``              session progress summary
-``GET  /sessions/{id}/next``         next result batch (optional ``?count=N``)
-``POST /sessions/{id}/feedback``     submit feedback (FeedbackRequest body)
-``DELETE /sessions/{id}``            close a session
+Two route families share one set of handlers:
+
+``/v1`` — the versioned wire protocol
+-------------------------------------
+``GET  /v1/healthz``                    liveness + registry summary
+``GET  /v1/capabilities``               negotiated features, limits, topology
+``GET  /v1/sessions``                   cursor-paged session listing
+``POST /v1/sessions``                   start a session
+``POST /v1/sessions/batch-next``        fused next batches for many sessions
+``GET  /v1/sessions/{id}``              session progress summary
+``GET  /v1/sessions/{id}/next``         next result batch (``?count=N``)
+``POST /v1/sessions/{id}/feedback``     submit feedback (idempotency keys)
+``DELETE /v1/sessions/{id}``            close a session
+
+`/v1` errors use the structured envelope of :mod:`repro.server.errors`
+(``{code, message, retryable, details}``); ``next`` and ``batch-next``
+stream chunked NDJSON when the client asks for it (``Accept:
+application/x-ndjson`` or ``?stream=ndjson``).
+
+Legacy unversioned routes
+-------------------------
+The pre-`/v1` surface (``POST /sessions``, ``GET /healthz``, ...) stays
+mounted as a thin adapter over the same handlers, preserving its original
+response shapes — including the ``{"error": {"type", "message"}}`` envelope
+— so existing clients keep working unchanged.
 """
 
 from __future__ import annotations
 
+import logging
+from typing import Any, Iterator, Sequence
 from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import (
+    RateLimitedError,
     ReproError,
     ServiceOverloadedError,
     TransportError,
     UnknownResourceError,
+)
+from repro.server.api import (
+    PROTOCOL_VERSION,
+    NextResultsResponse,
+    SessionInfo,
 )
 from repro.server.codec import (
     decode_batch_next_request,
@@ -32,108 +57,364 @@ from repro.server.codec import (
     decode_start_session_request,
     encode_batch_next_response,
     encode_next_results_response,
+    encode_result_item,
     encode_session_info,
+    encode_session_page,
     parse_json,
+    validate_count,
 )
+from repro.server.errors import encode_error
 from repro.server.manager import SessionManager
+from repro.server.middleware import (
+    ACCESS_LOGGER_NAME,
+    AccessLogMiddleware,
+    Middleware,
+    MiddlewarePipeline,
+    RateLimitMiddleware,
+    Request,
+    RequestIdMiddleware,
+    Response,
+)
 
 
 def error_payload(kind: str, message: str) -> "dict[str, object]":
-    """The uniform error envelope every non-2xx response carries."""
+    """The legacy error envelope every unversioned non-2xx response carries."""
     return {"error": {"type": kind, "message": message}}
 
 
-class SeeSawApp:
-    """Routes decoded HTTP requests into a :class:`SessionManager`."""
+def default_middlewares(manager: SessionManager) -> "list[Middleware]":
+    """The standard pipeline: request ids, access logs, optional rate limits."""
+    config = manager.service.config
+    middlewares: "list[Middleware]" = [RequestIdMiddleware(), AccessLogMiddleware()]
+    if config.rate_limit_rps > 0:
+        middlewares.append(
+            RateLimitMiddleware(config.rate_limit_rps, config.rate_limit_burst)
+        )
+    return middlewares
 
-    def __init__(self, manager: SessionManager) -> None:
+
+class SeeSawApp:
+    """Routes decoded transport requests into a :class:`SessionManager`."""
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        middlewares: "Sequence[Middleware] | None" = None,
+    ) -> None:
         self.manager = manager
+        if middlewares is None:
+            middlewares = default_middlewares(manager)
+        self.pipeline = MiddlewarePipeline(middlewares)
 
     # ------------------------------------------------------------------
-    # entry point
+    # entry points
     # ------------------------------------------------------------------
     def handle(
-        self, method: str, target: str, body: "bytes | None" = None
+        self,
+        method: str,
+        target: str,
+        body: "bytes | None" = None,
+        headers: "dict[str, str] | None" = None,
+        client: "str | None" = None,
     ) -> "tuple[int, dict[str, object]]":
-        """Dispatch one request; always returns ``(status, payload)``."""
-        parts = urlsplit(target)
-        segments = [segment for segment in parts.path.split("/") if segment]
-        query = parse_qs(parts.query)
+        """Dispatch one request; always returns ``(status, payload)``.
+
+        The original (pre-`/v1`) entry point, kept for embedders and tests
+        that drive the app without a socket.  A streaming response is
+        materialized into ``{"stream": [record, ...]}`` — only the HTTP
+        transport, which calls :meth:`handle_request` directly, can write
+        actual chunked NDJSON.
+        """
+        response = self.handle_request(
+            Request(
+                method=method,
+                target=target,
+                body=body,
+                headers=headers or {},
+                client=client,
+            )
+        )
+        if response.stream is not None:
+            return response.status, {"stream": list(response.stream)}
+        assert response.payload is not None
+        return response.status, response.payload
+
+    def handle_request(self, request: Request) -> Response:
+        """Full entry point: middleware pipeline around the router."""
         try:
-            return self._route(method.upper(), segments, query, body)
-        except TransportError as exc:
-            return 400, error_payload("TransportError", str(exc))
-        except UnknownResourceError as exc:
-            return 404, error_payload("UnknownResourceError", str(exc))
-        except ServiceOverloadedError as exc:
-            return 503, error_payload("ServiceOverloadedError", str(exc))
-        except ReproError as exc:
-            return 400, error_payload(type(exc).__name__, str(exc))
-        except Exception as exc:  # pragma: no cover - defensive catch-all
-            return 500, error_payload("InternalError", str(exc))
+            return self.pipeline.run(request, self._endpoint)
+        except Exception as exc:
+            # Errors raised by the pipeline itself (rate limiting, a broken
+            # custom middleware) — everything the router raises is already
+            # mapped inside _endpoint.  The pipeline was abandoned
+            # mid-flight, so the observability middlewares never saw a
+            # response: restore the request-id echo and emit the access
+            # record here, or exactly the throttled traffic would be the
+            # part missing from the logs.
+            response = self._error_response(request, exc)
+            if request.request_id is not None:
+                response.headers.setdefault(
+                    RequestIdMiddleware.HEADER, request.request_id
+                )
+            logging.getLogger(ACCESS_LOGGER_NAME).info(
+                "%s %s -> %d (rejected in middleware)",
+                request.method,
+                request.target,
+                response.status,
+                extra={
+                    "request_id": request.request_id,
+                    "client": request.client_key,
+                    "status": response.status,
+                    "duration_ms": 0.0,
+                },
+            )
+            return response
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    def _route(
+    def _endpoint(self, request: Request) -> Response:
+        parts = urlsplit(request.target)
+        segments = [segment for segment in parts.path.split("/") if segment]
+        query = parse_qs(parts.query)
+        method = request.method.upper()
+        try:
+            if segments[:1] == [PROTOCOL_VERSION]:
+                return self._route_v1(request, method, segments[1:], query)
+            return self._route_legacy(request, method, segments, query)
+        except Exception as exc:
+            return self._error_response(request, exc)
+
+    def _error_response(self, request: Request, exc: BaseException) -> Response:
+        """Encode one raised exception for the request's route family."""
+        if _is_v1(request.target):
+            status, payload = encode_error(exc, request_id=request.request_id)
+            return Response(status, payload)
+        # The legacy envelope, bit-compatible with the pre-`/v1` server.
+        if isinstance(exc, TransportError):
+            return Response(400, error_payload("TransportError", str(exc)))
+        if isinstance(exc, UnknownResourceError):
+            return Response(404, error_payload("UnknownResourceError", str(exc)))
+        if isinstance(exc, ServiceOverloadedError):
+            return Response(503, error_payload("ServiceOverloadedError", str(exc)))
+        if isinstance(exc, RateLimitedError):
+            # Post-dates the legacy protocol, so there is no legacy shape to
+            # preserve: keep the envelope style, use the proper status.
+            return Response(429, error_payload("RateLimitedError", str(exc)))
+        if isinstance(exc, ReproError):
+            return Response(400, error_payload(type(exc).__name__, str(exc)))
+        return Response(500, error_payload("InternalError", str(exc)))
+
+    def _route_legacy(
         self,
+        request: Request,
         method: str,
         segments: "list[str]",
         query: "dict[str, list[str]]",
-        body: "bytes | None",
-    ) -> "tuple[int, dict[str, object]]":
+    ) -> Response:
+        """The unversioned routes: a thin adapter over the shared handlers."""
         if segments == ["healthz"] and method == "GET":
-            return 200, self.manager.health()
+            return Response(200, self.manager.health())
 
         if segments == ["sessions"] and method == "POST":
-            request = decode_start_session_request(parse_json(body))
-            info = self.manager.start_session(request)
-            return 201, encode_session_info(info)
+            info = self._start_session(request.body)
+            return Response(201, encode_session_info(info))
 
         if segments == ["sessions", "batch-next"] and method == "POST":
-            entries = decode_batch_next_request(parse_json(body))
-            outcomes = self.manager.batch_next(entries)
+            outcomes = self._batch_next(request.body)
             # Always 200: per-session failures ride inside the envelope so
             # one bad session id cannot fail the rest of the cohort.
-            return 200, encode_batch_next_response(outcomes)
+            return Response(200, encode_batch_next_response(outcomes))
 
         if len(segments) == 2 and segments[0] == "sessions":
             session_id = segments[1]
             if method == "GET":
-                return 200, encode_session_info(self.manager.session_info(session_id))
+                return Response(
+                    200, encode_session_info(self.manager.session_info(session_id))
+                )
             if method == "DELETE":
                 self.manager.close_session(session_id)
-                return 200, {"closed": session_id}
+                return Response(200, {"closed": session_id})
 
         if len(segments) == 3 and segments[0] == "sessions":
             session_id = segments[1]
             if segments[2] == "next" and method == "GET":
-                count = self._count_param(query)
-                response = self.manager.next_results(session_id, count)
-                return 200, encode_next_results_response(response)
+                response = self._next_results(session_id, query)
+                return Response(200, encode_next_results_response(response))
             if segments[2] == "feedback" and method == "POST":
-                request = decode_feedback_request(
-                    parse_json(body), session_id=session_id
-                )
-                info = self.manager.give_feedback(request)
-                return 200, encode_session_info(info)
+                info = self._give_feedback(session_id, request.body)
+                return Response(200, encode_session_info(info))
 
-        return 404, error_payload(
-            "UnknownResourceError",
-            f"No route for {method} /{'/'.join(segments)}",
+        raise UnknownResourceError(f"No route for {method} /{'/'.join(segments)}")
+
+    def _route_v1(
+        self,
+        request: Request,
+        method: str,
+        segments: "list[str]",
+        query: "dict[str, list[str]]",
+    ) -> Response:
+        """The versioned `/v1` routes."""
+        if segments == ["healthz"] and method == "GET":
+            return Response(200, self.manager.health())
+
+        if segments == ["capabilities"] and method == "GET":
+            return Response(200, self.manager.capabilities())
+
+        if segments == ["sessions"] and method == "GET":
+            page = self.manager.list_sessions(
+                cursor=_str_param(query, "cursor"),
+                limit=_int_param(query, "limit"),
+            )
+            return Response(200, encode_session_page(page))
+
+        if segments == ["sessions"] and method == "POST":
+            info = self._start_session(request.body)
+            return Response(201, encode_session_info(info))
+
+        if segments == ["sessions", "batch-next"] and method == "POST":
+            outcomes = self._batch_next(request.body)
+            if _wants_ndjson(request, query):
+                return Response(200, stream=_batch_stream(outcomes))
+            return Response(200, _encode_batch_outcomes_v1(outcomes))
+
+        if len(segments) == 2 and segments[0] == "sessions":
+            session_id = segments[1]
+            if method == "GET":
+                return Response(
+                    200, encode_session_info(self.manager.session_info(session_id))
+                )
+            if method == "DELETE":
+                self.manager.close_session(session_id)
+                return Response(200, {"closed": session_id})
+
+        if len(segments) == 3 and segments[0] == "sessions":
+            session_id = segments[1]
+            if segments[2] == "next" and method == "GET":
+                response = self._next_results(session_id, query)
+                if _wants_ndjson(request, query):
+                    return Response(200, stream=_next_stream(response))
+                return Response(200, encode_next_results_response(response))
+            if segments[2] == "feedback" and method == "POST":
+                info = self._give_feedback(
+                    session_id,
+                    request.body,
+                    idempotency_key=request.header("Idempotency-Key"),
+                )
+                return Response(200, encode_session_info(info))
+
+        raise UnknownResourceError(
+            f"No route for {method} /v1/{'/'.join(segments)}"
         )
 
-    @staticmethod
-    def _count_param(query: "dict[str, list[str]]") -> "int | None":
-        values = query.get("count")
-        if not values:
-            return None
-        try:
-            count = int(values[-1])
-        except ValueError as exc:
+    # ------------------------------------------------------------------
+    # shared handlers (one implementation behind both route families)
+    # ------------------------------------------------------------------
+    def _start_session(self, body: "bytes | None") -> SessionInfo:
+        return self.manager.start_session(decode_start_session_request(parse_json(body)))
+
+    def _next_results(
+        self, session_id: str, query: "dict[str, list[str]]"
+    ) -> NextResultsResponse:
+        count = _int_param(query, "count")
+        if count is not None:
+            validate_count(count)
+        return self.manager.next_results(session_id, count)
+
+    def _give_feedback(
+        self,
+        session_id: str,
+        body: "bytes | None",
+        idempotency_key: "str | None" = None,
+    ) -> SessionInfo:
+        request = decode_feedback_request(parse_json(body), session_id=session_id)
+        return self.manager.give_feedback(request, idempotency_key=idempotency_key)
+
+    def _batch_next(
+        self, body: "bytes | None"
+    ) -> "list[NextResultsResponse | ReproError]":
+        entries = decode_batch_next_request(parse_json(body))
+        return self.manager.batch_next(entries)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _is_v1(target: str) -> bool:
+    path = urlsplit(target).path
+    return [s for s in path.split("/") if s][:1] == [PROTOCOL_VERSION]
+
+
+def _str_param(query: "dict[str, list[str]]", name: str) -> "str | None":
+    values = query.get(name)
+    return values[-1] if values else None
+
+
+def _int_param(query: "dict[str, list[str]]", name: str) -> "int | None":
+    values = query.get(name)
+    if not values:
+        return None
+    try:
+        return int(values[-1])
+    except ValueError as exc:
+        raise TransportError(
+            f"Query parameter '{name}' must be an integer, got '{values[-1]}'"
+        ) from exc
+
+
+def _wants_ndjson(request: Request, query: "dict[str, list[str]]") -> bool:
+    stream = _str_param(query, "stream")
+    if stream is not None:
+        if stream not in ("ndjson", "json"):
             raise TransportError(
-                f"Query parameter 'count' must be an integer, got '{values[-1]}'"
-            ) from exc
-        if count < 1:
-            raise TransportError(f"Query parameter 'count' must be >= 1, got {count}")
-        return count
+                f"Query parameter 'stream' must be 'ndjson' or 'json', "
+                f"got '{stream}'"
+            )
+        return stream == "ndjson"
+    return "application/x-ndjson" in (request.header("Accept") or "")
+
+
+def _next_stream(response: NextResultsResponse) -> "Iterator[dict[str, Any]]":
+    """NDJSON records for one result batch: meta, one line per item, end.
+
+    The engine computes the whole batch before the first byte is written
+    (errors therefore still arrive as plain JSON envelopes with a real
+    status code); streaming buys incremental *rendering* — a UI paints the
+    first result while the rest of a large batch is still on the wire.
+    """
+    yield {
+        "kind": "meta",
+        "session_id": response.session_id,
+        "item_count": len(response.items),
+        "total_shown": response.total_shown,
+        "positives_found": response.positives_found,
+    }
+    for item in response.items:
+        yield {"kind": "item", "item": encode_result_item(item)}
+    yield {"kind": "end"}
+
+
+def _batch_stream(
+    outcomes: "Sequence[NextResultsResponse | ReproError]",
+) -> "Iterator[dict[str, Any]]":
+    """NDJSON records for a batch-next cohort: meta, one line per outcome."""
+    yield {"kind": "meta", "outcome_count": len(outcomes)}
+    for index, outcome in enumerate(outcomes):
+        yield {"kind": "outcome", "index": index, **_encode_outcome_v1(outcome)}
+    yield {"kind": "end"}
+
+
+def _encode_outcome_v1(
+    outcome: "NextResultsResponse | BaseException",
+) -> "dict[str, Any]":
+    if isinstance(outcome, BaseException):
+        _, envelope = encode_error(outcome)
+        return {"ok": False, "error": envelope["error"]}
+    return {"ok": True, "result": encode_next_results_response(outcome)}
+
+
+def _encode_batch_outcomes_v1(
+    outcomes: "Sequence[NextResultsResponse | ReproError]",
+) -> "dict[str, Any]":
+    """The `/v1` batch envelope: per-item results or structured errors."""
+    return {"results": [_encode_outcome_v1(outcome) for outcome in outcomes]}

@@ -1,20 +1,29 @@
-"""Typed HTTP client for the SeeSaw service.
+"""Typed HTTP clients for the SeeSaw service.
 
-Mirrors the in-process :class:`~repro.server.service.SeeSawService` surface
-over HTTP: the same request/response dataclasses go in and come out, and
-server-side errors are re-raised as the exception types the in-process
-service would have raised, so callers can switch between the two without
+Two clients live here:
+
+* :class:`HTTPClient` — the `/v1` client, implementing the transport-
+  agnostic :class:`~repro.server.protocol.SeeSawClientProtocol` (structured
+  error envelopes, NDJSON streaming, idempotency keys, cursor paging);
+* :class:`ServiceClient` — the original client for the legacy unversioned
+  routes, preserved unchanged so pre-`/v1` callers keep working.
+
+Both re-raise server-side errors as the exception types the in-process
+service would have raised, so callers can switch transports without
 changing their error handling.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import urllib.error
+import urllib.parse
 import urllib.request
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.exceptions import (
+    RateLimitedError,
     ReproError,
     ServiceOverloadedError,
     SessionError,
@@ -24,22 +33,240 @@ from repro.exceptions import (
 from repro.server.api import (
     FeedbackRequest,
     NextResultsResponse,
+    ResultItem,
     SessionInfo,
+    SessionPage,
     StartSessionRequest,
 )
 from repro.server.codec import (
     decode_next_results_response,
+    decode_result_item,
     decode_session_info,
+    decode_session_page,
     encode_feedback_request,
     encode_start_session_request,
 )
+from repro.server.errors import decode_error
+from repro.server.protocol import SeeSawClientProtocol
 
 _ERROR_TYPES: "dict[str, type[ReproError]]" = {
     "TransportError": TransportError,
     "UnknownResourceError": UnknownResourceError,
     "ServiceOverloadedError": ServiceOverloadedError,
     "SessionError": SessionError,
+    "RateLimitedError": RateLimitedError,
 }
+
+
+class HTTPClient(SeeSawClientProtocol):
+    """The `/v1` wire-protocol client — blocking, stdlib-only.
+
+    ``client_id`` (sent as ``X-Client-Id``) names this caller for rate
+    limiting and access logs; without it the server falls back to the
+    remote address.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        client_id: "str | None" = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.client_id = client_id
+
+    # ------------------------------------------------------------------
+    # discovery
+    # ------------------------------------------------------------------
+    def capabilities(self) -> "dict[str, Any]":
+        return self._request("GET", "/v1/capabilities")
+
+    def healthz(self) -> "dict[str, Any]":
+        return self._request("GET", "/v1/healthz")
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    def start_session(self, request: StartSessionRequest) -> SessionInfo:
+        payload = self._request(
+            "POST", "/v1/sessions", encode_start_session_request(request)
+        )
+        return decode_session_info(payload)
+
+    def session_info(self, session_id: str) -> SessionInfo:
+        return decode_session_info(self._request("GET", f"/v1/sessions/{session_id}"))
+
+    def list_sessions(
+        self, cursor: "str | None" = None, limit: "int | None" = None
+    ) -> SessionPage:
+        params: "dict[str, str]" = {}
+        if cursor is not None:
+            params["cursor"] = cursor
+        if limit is not None:
+            params["limit"] = str(limit)
+        path = "/v1/sessions"
+        if params:
+            path += "?" + urllib.parse.urlencode(params)
+        return decode_session_page(self._request("GET", path))
+
+    def close_session(self, session_id: str) -> None:
+        self._request("DELETE", f"/v1/sessions/{session_id}")
+
+    # ------------------------------------------------------------------
+    # the search loop
+    # ------------------------------------------------------------------
+    def next_results(
+        self, session_id: str, count: "int | None" = None
+    ) -> NextResultsResponse:
+        path = f"/v1/sessions/{session_id}/next"
+        if count is not None:
+            path += f"?count={count}"
+        return decode_next_results_response(self._request("GET", path))
+
+    def stream_next_results(
+        self, session_id: str, count: "int | None" = None
+    ) -> "Iterator[ResultItem]":
+        """Decode items straight off the chunked NDJSON response.
+
+        The terminal ``end`` record is required: a stream that stops
+        without it was truncated (server died mid-batch), and silently
+        yielding the partial batch would look exactly like a complete one.
+        """
+        path = f"/v1/sessions/{session_id}/next?stream=ndjson"
+        if count is not None:
+            path += f"&count={count}"
+        saw_end = False
+        for record in self._stream(path):
+            kind = record.get("kind")
+            if kind == "item":
+                yield decode_result_item(record["item"])
+            elif kind == "end":
+                saw_end = True
+            elif kind != "meta":
+                raise TransportError(f"Unexpected NDJSON record kind '{kind}'")
+        if not saw_end:
+            raise TransportError(
+                "NDJSON stream ended without the terminal 'end' record "
+                "(truncated response)"
+            )
+
+    def batch_next(
+        self, requests: "Sequence[tuple[str, int | None]]"
+    ) -> "list[NextResultsResponse | ReproError]":
+        payload = {
+            "requests": [
+                {"session_id": session_id, **({} if count is None else {"count": count})}
+                for session_id, count in requests
+            ]
+        }
+        data = self._request("POST", "/v1/sessions/batch-next", payload)
+        return [self._decode_outcome(item) for item in data["results"]]
+
+    def give_feedback(
+        self, request: FeedbackRequest, idempotency_key: "str | None" = None
+    ) -> SessionInfo:
+        headers = {} if idempotency_key is None else {"Idempotency-Key": idempotency_key}
+        payload = self._request(
+            "POST",
+            f"/v1/sessions/{request.session_id}/feedback",
+            encode_feedback_request(request),
+            headers=headers,
+        )
+        return decode_session_info(payload)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _decode_outcome(item: "Mapping[str, Any]") -> "NextResultsResponse | ReproError":
+        if item.get("ok"):
+            return decode_next_results_response(item["result"])
+        return decode_error(200, {"error": item["error"]})
+
+    def _prepare(
+        self,
+        method: str,
+        path: str,
+        payload: "Mapping[str, Any] | None" = None,
+        headers: "Mapping[str, str] | None" = None,
+    ) -> urllib.request.Request:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        merged: "dict[str, str]" = {}
+        if body is not None:
+            merged["Content-Type"] = "application/json"
+        if self.client_id is not None:
+            merged["X-Client-Id"] = self.client_id
+        if headers:
+            merged.update(headers)
+        return urllib.request.Request(
+            self.base_url + path, data=body, method=method, headers=merged
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: "Mapping[str, Any] | None" = None,
+        headers: "Mapping[str, str] | None" = None,
+    ) -> "dict[str, Any]":
+        request = self._prepare(method, path, payload, headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                raw = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise self._wire_error(exc) from exc
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TransportError(f"Server returned invalid JSON: {exc}") from exc
+
+    def _stream(self, path: str) -> "Iterator[dict[str, Any]]":
+        """Yield decoded NDJSON records as the chunked response arrives."""
+        request = self._prepare("GET", path, headers={"Accept": "application/x-ndjson"})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                for raw_line in response:
+                    line = raw_line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                        raise TransportError(
+                            f"Server sent an invalid NDJSON line: {exc}"
+                        ) from exc
+        except (OSError, http.client.HTTPException) as exc:
+            raise self._wire_error(exc) from exc
+
+    def _wire_error(self, exc: Exception) -> ReproError:
+        """One mapping for everything the socket layer can raise.
+
+        ``HTTPError`` carries a server envelope to decode; ``URLError``
+        means the service was never reached; anything else (IncompleteRead,
+        a connection reset mid-stream) is a connection that died partway —
+        all surface as the typed errors the protocol promises, never raw
+        ``http.client``/``OSError`` leakage.
+        """
+        if isinstance(exc, urllib.error.HTTPError):
+            return self._error_from_response(exc.code, exc.read())
+        if isinstance(exc, urllib.error.URLError):
+            return TransportError(
+                f"Could not reach SeeSaw service at {self.base_url}: {exc.reason}"
+            )
+        return TransportError(
+            f"Connection to SeeSaw service at {self.base_url} failed "
+            f"mid-request: {exc!r}"
+        )
+
+    @staticmethod
+    def _error_from_response(status: int, raw: bytes) -> ReproError:
+        """Map a `/v1` error envelope back to a library exception."""
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except Exception:
+            return TransportError(f"Server returned HTTP {status}: {raw[:200]!r}")
+        return decode_error(status, payload)
 
 
 class ServiceClient:

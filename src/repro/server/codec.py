@@ -9,6 +9,8 @@ message naming the offending field, so the HTTP layer can return a precise
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
 from collections.abc import Mapping, Sequence
 from typing import Any
@@ -20,8 +22,31 @@ from repro.server.api import (
     NextResultsResponse,
     ResultItem,
     SessionInfo,
+    SessionListEntry,
+    SessionPage,
     StartSessionRequest,
 )
+
+MAX_RESULT_COUNT = 1024
+"""Upper bound on a single ``next``/``batch-next`` result count.  Values
+above it are rejected at the app boundary with a structured 400: a count in
+the millions would otherwise reach the engine and pin a worker on one
+request-sized top-k for the whole corpus."""
+
+MAX_PAGE_LIMIT = 500
+"""Upper bound on one ``GET /v1/sessions`` page."""
+
+
+def validate_count(count: int, field: str = "count") -> int:
+    """Bound-check a next-results count (both the query param and the batch
+    body go through here, so every transport rejects identically)."""
+    if count < 1:
+        raise TransportError(f"Field '{field}' must be >= 1, got {count}")
+    if count > MAX_RESULT_COUNT:
+        raise TransportError(
+            f"Field '{field}' must be <= {MAX_RESULT_COUNT}, got {count}"
+        )
+    return count
 
 
 # ---------------------------------------------------------------------------
@@ -189,9 +214,7 @@ def decode_batch_next_request(data: Any) -> "list[tuple[str, int | None]]":
         session_id = _as_str(_require(item, "session_id"), "session_id")
         count: "int | None" = None
         if "count" in item and item["count"] is not None:
-            count = _as_int(item["count"], "count")
-            if count < 1:
-                raise TransportError(f"Field 'count' must be >= 1, got {count}")
+            count = validate_count(_as_int(item["count"], "count"))
         entries.append((session_id, count))
     if not entries:
         raise TransportError("Field 'requests' must not be empty")
@@ -243,6 +266,78 @@ def decode_session_info(data: Any) -> SessionInfo:
         positives_found=_as_int(_require(data, "positives_found"), "positives_found"),
         rounds=_as_int(_require(data, "rounds"), "rounds"),
     )
+
+
+def encode_session_list_entry(entry: SessionListEntry) -> "dict[str, Any]":
+    return {
+        **encode_session_info(entry.info),
+        "telemetry": {
+            "idle_seconds": entry.idle_seconds,
+            "lookup_seconds": entry.lookup_seconds,
+            "update_seconds": entry.update_seconds,
+        },
+    }
+
+
+def decode_session_list_entry(data: Any) -> SessionListEntry:
+    data = _as_mapping(data, "SessionListEntry")
+    telemetry = _as_mapping(_require(data, "telemetry"), "Field 'telemetry'")
+    return SessionListEntry(
+        info=decode_session_info(data),
+        idle_seconds=_as_float(_require(telemetry, "idle_seconds"), "idle_seconds"),
+        lookup_seconds=_as_float(
+            _require(telemetry, "lookup_seconds"), "lookup_seconds"
+        ),
+        update_seconds=_as_float(
+            _require(telemetry, "update_seconds"), "update_seconds"
+        ),
+    )
+
+
+def encode_session_page(page: SessionPage) -> "dict[str, Any]":
+    return {
+        "sessions": [encode_session_list_entry(entry) for entry in page.sessions],
+        "next_cursor": page.next_cursor,
+    }
+
+
+def decode_session_page(data: Any) -> SessionPage:
+    data = _as_mapping(data, "SessionPage")
+    cursor = data.get("next_cursor")
+    if cursor is not None:
+        cursor = _as_str(cursor, "next_cursor")
+    return SessionPage(
+        sessions=tuple(
+            decode_session_list_entry(item)
+            for item in _as_sequence(_require(data, "sessions"), "sessions")
+        ),
+        next_cursor=cursor,
+    )
+
+
+# ---------------------------------------------------------------------------
+# paging cursors
+# ---------------------------------------------------------------------------
+def encode_cursor(sequence: int) -> str:
+    """Encode a session creation sequence number as an opaque cursor token.
+
+    Sequence numbers (not session ids) survive deletion: a page boundary
+    stays valid even when the session it pointed at is closed before the
+    next page is fetched.
+    """
+    return base64.urlsafe_b64encode(f"s:{sequence}".encode("ascii")).decode("ascii")
+
+
+def decode_cursor(cursor: str) -> int:
+    """Decode a cursor token; raises :class:`TransportError` on garbage."""
+    try:
+        raw = base64.urlsafe_b64decode(cursor.encode("ascii")).decode("ascii")
+        prefix, _, sequence = raw.partition(":")
+        if prefix != "s":
+            raise ValueError(raw)
+        return int(sequence)
+    except (ValueError, UnicodeError, binascii.Error) as exc:
+        raise TransportError(f"Malformed cursor '{cursor}'") from exc
 
 
 # ---------------------------------------------------------------------------

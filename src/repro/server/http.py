@@ -22,10 +22,17 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.server.app import SeeSawApp
+from repro.server.middleware import Request
 
 
 class SeeSawRequestHandler(BaseHTTPRequestHandler):
-    """Reads one request, hands it to the app, writes the JSON response."""
+    """Reads one request, hands it to the app, writes the JSON response.
+
+    Single-shot responses go out with a ``Content-Length``; streaming
+    (NDJSON) responses are written with chunked transfer encoding, one chunk
+    per record, flushed as produced so a client renders the first record
+    before the last one is on the wire.
+    """
 
     server: "SeeSawHTTPServer"
     server_version = "SeeSawHTTP/1.0"
@@ -43,13 +50,35 @@ class SeeSawRequestHandler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else None
-        status, payload = self.server.app.handle(method, self.path, body)
-        encoded = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        response = self.server.app.handle_request(
+            Request(
+                method=method,
+                target=self.path,
+                body=body,
+                headers={key: value for key, value in self.headers.items()},
+                client=self.client_address[0],
+            )
+        )
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        if response.stream is not None:
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            for record in response.stream:
+                self._write_chunk(json.dumps(record).encode("utf-8") + b"\n")
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+            return
+        encoded = json.dumps(response.payload).encode("utf-8")
         self.send_header("Content-Length", str(len(encoded)))
         self.end_headers()
         self.wfile.write(encoded)
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):X}\r\n".encode("ascii") + data + b"\r\n")
+        self.wfile.flush()
 
     def log_message(self, format: str, *args: object) -> None:
         if not self.server.quiet:

@@ -29,24 +29,46 @@ instead of leaving a lock entry behind or double-deleting.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
+from collections import OrderedDict
 from contextlib import ExitStack
 from typing import Callable, Sequence
 
 from repro.exceptions import (
+    IdempotencyConflictError,
     ReproError,
     ServiceOverloadedError,
+    TransportError,
     UnknownResourceError,
 )
 from repro.server.api import (
+    PROTOCOL_REVISION,
+    PROTOCOL_VERSION,
     FeedbackRequest,
     NextResultsResponse,
     SessionInfo,
+    SessionListEntry,
+    SessionPage,
     StartSessionRequest,
 )
 from repro.server.batching import NextBatchCoalescer
+from repro.server.codec import (
+    MAX_PAGE_LIMIT,
+    MAX_RESULT_COUNT,
+    decode_cursor,
+    encode_cursor,
+)
 from repro.server.service import SeeSawService
+
+DEFAULT_PAGE_LIMIT = 50
+"""Page size of ``GET /v1/sessions`` when the client does not pass one."""
+
+IDEMPOTENCY_KEYS_PER_SESSION = 256
+"""How many feedback idempotency records one session retains (FIFO).  A
+client retry storm older than this window replays as a fresh apply — the
+cap exists so a key-per-request client cannot grow memory unboundedly."""
 
 
 class SessionManager:
@@ -68,6 +90,13 @@ class SessionManager:
         self._registry_lock = threading.Lock()
         self._session_locks: dict[str, threading.Lock] = {}
         self._last_used: dict[str, float] = {}
+        # Monotonic creation sequence per session: the stable order (and the
+        # opaque cursor space) of the paged session listing.
+        self._created_seq: dict[str, int] = {}
+        self._seq_counter = itertools.count(1)
+        # Per-session idempotency records for /feedback:
+        # key -> (request fingerprint, SessionInfo returned by the apply).
+        self._idempotency: dict[str, OrderedDict[str, tuple[object, SessionInfo]]] = {}
         self._index_locks: dict[tuple[str, bool], threading.Lock] = {}
         self._index_locks_guard = threading.Lock()
         if batch_window_ms is None:
@@ -127,6 +156,7 @@ class SessionManager:
             info = self.service.start_session(request)
             self._session_locks[info.session_id] = threading.Lock()
             self._last_used[info.session_id] = self._clock()
+            self._created_seq[info.session_id] = next(self._seq_counter)
             return info
 
     def _check_capacity(self) -> None:
@@ -222,17 +252,107 @@ class SessionManager:
                 outcomes.append(missing[session_id])
         return outcomes
 
-    def give_feedback(self, request: FeedbackRequest) -> SessionInfo:
-        """Thread-safe :meth:`SeeSawService.give_feedback`."""
+    def give_feedback(
+        self, request: FeedbackRequest, idempotency_key: "str | None" = None
+    ) -> SessionInfo:
+        """Thread-safe :meth:`SeeSawService.give_feedback`, optionally idempotent.
+
+        With an ``idempotency_key``, the first apply records its result under
+        the key; a replay with the *same* key and payload returns that
+        recorded :class:`SessionInfo` without re-applying the feedback (a
+        client retrying a timed-out request cannot double-label an image),
+        and a replay with the same key but a *different* payload raises
+        :class:`IdempotencyConflictError` — silently answering a different
+        request with the cached result would hide a client bug.
+        """
         with self._lock_for(request.session_id):
-            info = self.service.give_feedback(request)
+            if idempotency_key is not None:
+                fingerprint = self._feedback_fingerprint(request)
+                cache = self._idempotency.get(request.session_id)
+                recorded = cache.get(idempotency_key) if cache is not None else None
+                if recorded is not None:
+                    recorded_fingerprint, recorded_info = recorded
+                    if recorded_fingerprint != fingerprint:
+                        raise IdempotencyConflictError(
+                            f"Idempotency key '{idempotency_key}' was already "
+                            f"used with a different feedback payload for "
+                            f"session '{request.session_id}'"
+                        )
+                    info = recorded_info
+                else:
+                    info = self.service.give_feedback(request)
+                    cache = self._idempotency.setdefault(
+                        request.session_id, OrderedDict()
+                    )
+                    cache[idempotency_key] = (fingerprint, info)
+                    while len(cache) > IDEMPOTENCY_KEYS_PER_SESSION:
+                        cache.popitem(last=False)
+            else:
+                info = self.service.give_feedback(request)
         self._touch(request.session_id)
         return info
+
+    @staticmethod
+    def _feedback_fingerprint(request: FeedbackRequest) -> object:
+        """A hashable identity of one feedback payload (for replay detection)."""
+        return (
+            request.image_id,
+            request.relevant,
+            tuple((box.x, box.y, box.width, box.height) for box in request.boxes),
+        )
 
     def session_info(self, session_id: str) -> SessionInfo:
         """Thread-safe :meth:`SeeSawService.session_info`."""
         with self._lock_for(session_id):
             return self.service.session_info(session_id)
+
+    def list_sessions(
+        self, cursor: "str | None" = None, limit: "int | None" = None
+    ) -> SessionPage:
+        """One page of live sessions, in creation order, with telemetry.
+
+        The cursor is opaque to clients; internally it is the creation
+        sequence number of the last listed session, so a page boundary stays
+        valid when sessions on either side of it are closed between pages.
+        Telemetry fields are read without taking each session's lock — a
+        listing must not queue behind every in-flight round, and a
+        single-round-stale counter is fine for monitoring reads.
+        """
+        after = decode_cursor(cursor) if cursor is not None else 0
+        if limit is None:
+            limit = DEFAULT_PAGE_LIMIT
+        if limit < 1 or limit > MAX_PAGE_LIMIT:
+            raise TransportError(
+                f"Field 'limit' must be between 1 and {MAX_PAGE_LIMIT}, got {limit}"
+            )
+        now = self._clock()
+        with self._registry_lock:
+            ordered = sorted(
+                (seq, session_id)
+                for session_id, seq in self._created_seq.items()
+                if seq > after
+            )
+            last_used = dict(self._last_used)
+        page, remainder = ordered[:limit], ordered[limit:]
+        entries: "list[SessionListEntry]" = []
+        for seq, session_id in page:
+            try:
+                info = self.service.session_info(session_id)
+                stats = self.service.session_stats(session_id)
+            except UnknownResourceError:
+                # Closed between the registry snapshot and this read; the
+                # listing simply skips it (its cursor slot stays consumed).
+                continue
+            entries.append(
+                SessionListEntry(
+                    info=info,
+                    idle_seconds=max(0.0, now - last_used.get(session_id, now)),
+                    lookup_seconds=stats.lookup_seconds,
+                    update_seconds=stats.update_seconds,
+                )
+            )
+        next_cursor = encode_cursor(page[-1][0]) if remainder and page else None
+        return SessionPage(sessions=tuple(entries), next_cursor=next_cursor)
 
     def close_session(self, session_id: str) -> None:
         """Close a session and release its bookkeeping."""
@@ -263,6 +383,8 @@ class SessionManager:
                     return False
             lock = self._session_locks.pop(session_id, None)
             self._last_used.pop(session_id, None)
+            self._created_seq.pop(session_id, None)
+            self._idempotency.pop(session_id, None)
         if lock is None:
             # Already closed or evicted (or never existed); closing the
             # service side again is a harmless no-op, kept for callers that
@@ -301,6 +423,50 @@ class SessionManager:
         """Number of live (non-evicted) sessions."""
         with self._registry_lock:
             return len(self._session_locks)
+
+    def capabilities(self) -> "dict[str, object]":
+        """The payload ``GET /v1/capabilities`` returns.
+
+        Everything a client needs to negotiate up front: the protocol
+        revision, which optional features this deployment serves, the hard
+        request limits, and the compute topology requests will score
+        through.  Deployment-static by design — unlike ``/healthz`` it
+        carries no live counters, so clients may cache it per connection.
+        """
+        config = self.service.config
+        return {
+            "protocol": {
+                "version": PROTOCOL_VERSION,
+                "revision": PROTOCOL_REVISION,
+            },
+            "features": {
+                "streaming_ndjson": True,
+                "idempotent_feedback": True,
+                "cursor_paging": True,
+                "batch_next": True,
+                "request_coalescing": self.batch_window_ms > 0,
+                "rate_limiting": config.rate_limit_rps > 0,
+                "legacy_routes": True,
+            },
+            "limits": {
+                "max_sessions": self.max_sessions,
+                "max_batch_size": self.max_batch_size,
+                "max_count": MAX_RESULT_COUNT,
+                "max_page_limit": MAX_PAGE_LIMIT,
+                "idempotency_keys_per_session": IDEMPOTENCY_KEYS_PER_SESSION,
+                "session_ttl_seconds": self.session_ttl_seconds,
+                "rate_limit_rps": config.rate_limit_rps,
+                "rate_limit_burst": config.rate_limit_burst,
+            },
+            "compute": {
+                "compute_dtype": config.compute_dtype,
+                "n_shards": config.n_shards,
+                "quantized_store": config.quantized_store,
+                "mmap_index": config.mmap_index,
+                "batch_window_ms": self.batch_window_ms,
+            },
+            "datasets": list(self.service.dataset_names),
+        }
 
     def health(self) -> "dict[str, object]":
         """The payload ``GET /healthz`` returns."""

@@ -1,0 +1,212 @@
+"""App-layer middleware pipeline for the SeeSaw service.
+
+The `/v1` redesign moved cross-cutting transport concerns out of the route
+handlers and into a small composable pipeline that wraps the router:
+
+* :class:`RequestIdMiddleware` — every request gets a request id (the
+  client's ``X-Request-Id`` when supplied, else a generated one), echoed on
+  the response and threaded into error envelopes and access logs;
+* :class:`AccessLogMiddleware` — one structured log record per request
+  (method, path, status, duration, request id, client key) on the
+  ``repro.server.access`` logger;
+* :class:`RateLimitMiddleware` — a per-client token bucket; a drained
+  bucket raises :class:`~repro.exceptions.RateLimitedError`, which the app
+  encodes as the structured 429 envelope.
+
+Middlewares see the transport-agnostic :class:`Request`/:class:`Response`
+pair, so the pipeline runs identically under the HTTP transport and under
+direct in-process ``SeeSawApp.handle`` calls (the unit tests drive it
+without a socket).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.exceptions import RateLimitedError
+
+ACCESS_LOGGER_NAME = "repro.server.access"
+
+
+@dataclass
+class Request:
+    """One decoded transport request, independent of the socket layer."""
+
+    method: str
+    target: str
+    body: "bytes | None" = None
+    headers: "Mapping[str, str]" = field(default_factory=dict)
+    client: "str | None" = None
+    request_id: "str | None" = None
+
+    def header(self, name: str, default: "str | None" = None) -> "str | None":
+        """Case-insensitive header lookup."""
+        lowered = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == lowered:
+                return value
+        return default
+
+    @property
+    def client_key(self) -> str:
+        """The identity rate limiting and access logs attribute requests to."""
+        return self.header("x-client-id") or self.client or "anonymous"
+
+
+@dataclass
+class Response:
+    """One transport response: a JSON payload or an NDJSON stream.
+
+    Exactly one of ``payload`` (single-shot JSON body) and ``stream``
+    (iterator of JSON-serializable records, one NDJSON line each) is set.
+    """
+
+    status: int
+    payload: "dict[str, Any] | None" = None
+    headers: "dict[str, str]" = field(default_factory=dict)
+    stream: "Iterator[dict[str, Any]] | None" = None
+
+    @property
+    def content_type(self) -> str:
+        return (
+            "application/x-ndjson" if self.stream is not None else "application/json"
+        )
+
+
+Handler = Callable[[Request], Response]
+Middleware = Callable[[Request, Handler], Response]
+
+
+class MiddlewarePipeline:
+    """Composes middlewares around an endpoint, outermost first."""
+
+    def __init__(self, middlewares: "Sequence[Middleware]") -> None:
+        self.middlewares = tuple(middlewares)
+
+    def run(self, request: Request, endpoint: Handler) -> Response:
+        handler = endpoint
+        for middleware in reversed(self.middlewares):
+            handler = _bind(middleware, handler)
+        return handler(request)
+
+
+def _bind(middleware: Middleware, inner: Handler) -> Handler:
+    def handler(request: Request) -> Response:
+        return middleware(request, inner)
+
+    return handler
+
+
+class RequestIdMiddleware:
+    """Assigns each request an id and echoes it on the response."""
+
+    HEADER = "X-Request-Id"
+
+    def __call__(self, request: Request, handler: Handler) -> Response:
+        request.request_id = request.header(self.HEADER) or uuid.uuid4().hex
+        response = handler(request)
+        response.headers.setdefault(self.HEADER, request.request_id)
+        return response
+
+
+class AccessLogMiddleware:
+    """Emits one structured access-log record per handled request."""
+
+    def __init__(
+        self,
+        logger: "logging.Logger | None" = None,
+        clock: "Callable[[], float]" = time.perf_counter,
+    ) -> None:
+        self.logger = logger or logging.getLogger(ACCESS_LOGGER_NAME)
+        self._clock = clock
+        self.requests_served = 0
+
+    def __call__(self, request: Request, handler: Handler) -> Response:
+        start = self._clock()
+        response = handler(request)
+        elapsed_ms = (self._clock() - start) * 1000.0
+        self.requests_served += 1
+        self.logger.info(
+            "%s %s -> %d (%.2fms)",
+            request.method,
+            request.target,
+            response.status,
+            elapsed_ms,
+            extra={
+                "request_id": request.request_id,
+                "client": request.client_key,
+                "status": response.status,
+                "duration_ms": elapsed_ms,
+            },
+        )
+        return response
+
+
+class RateLimitMiddleware:
+    """Token-bucket rate limiting per client key.
+
+    Each client (``X-Client-Id`` header, else remote address) owns a bucket
+    of ``burst`` tokens refilled at ``rate_per_second``.  A request with no
+    token available raises :class:`RateLimitedError` — the app layer maps it
+    to the structured 429 envelope (``retryable: true``, with a retry hint
+    in the message).
+
+    The bucket table is bounded: past ``max_clients`` the least-recently
+    seen bucket is dropped (a dropped client simply starts a fresh, full
+    bucket — bias towards availability, not towards punishing returners).
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: int,
+        clock: "Callable[[], float]" = time.monotonic,
+        max_clients: int = 1024,
+    ) -> None:
+        if rate_per_second <= 0:
+            raise ValueError("rate_per_second must be > 0; gate construction "
+                             "on the config knob instead of passing 0")
+        self.rate_per_second = float(rate_per_second)
+        self.burst = max(1, int(burst))
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._lock = threading.Lock()
+        # client key -> [tokens, last_refill]; dict order doubles as the
+        # recency order (entries are re-inserted on every touch).
+        self._buckets: "dict[str, list[float]]" = {}
+        self.rejected_requests = 0
+
+    def __call__(self, request: Request, handler: Handler) -> Response:
+        self._take_token(request.client_key)
+        return handler(request)
+
+    def _take_token(self, client_key: str) -> None:
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.pop(client_key, None)
+            if bucket is None:
+                bucket = [float(self.burst), now]
+            tokens, last_refill = bucket
+            tokens = min(
+                float(self.burst),
+                tokens + (now - last_refill) * self.rate_per_second,
+            )
+            if tokens < 1.0:
+                # Re-insert before raising so the drained state (and its
+                # refill clock) survives the rejected request.
+                self._buckets[client_key] = [tokens, now]
+                self.rejected_requests += 1
+                retry_after = (1.0 - tokens) / self.rate_per_second
+                raise RateLimitedError(
+                    f"Rate limit exceeded for client '{client_key}': "
+                    f"{self.rate_per_second:g} requests/s sustained "
+                    f"(burst {self.burst}); retry in {retry_after:.2f}s"
+                )
+            self._buckets[client_key] = [tokens - 1.0, now]
+            while len(self._buckets) > self.max_clients:
+                self._buckets.pop(next(iter(self._buckets)))

@@ -1,0 +1,191 @@
+"""The transport-agnostic SeeSaw client API.
+
+:class:`SeeSawClientProtocol` is the one client surface every caller — the
+browser UI's backend, the benchmark harness, the contract and load suites —
+programs against.  Two implementations exist:
+
+* :class:`InProcessClient` (here) wraps a
+  :class:`~repro.server.manager.SessionManager` directly — no sockets, no
+  serialization, the embedding deployment mode;
+* :class:`~repro.server.client.HTTPClient` speaks the `/v1` wire protocol
+  over a real socket.
+
+The contract suite (``tests/contract/test_client_protocol.py``) runs the
+same scenario scripts through both and asserts identical results and
+identical typed errors, which is the guarantee that makes "develop against
+in-process, deploy against HTTP" safe.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, Sequence
+
+from repro.exceptions import ReproError
+from repro.server.api import (
+    FeedbackRequest,
+    NextResultsResponse,
+    ResultItem,
+    SessionInfo,
+    SessionListEntry,
+    SessionPage,
+    StartSessionRequest,
+)
+from repro.server.codec import validate_count
+from repro.server.manager import SessionManager
+
+
+class SeeSawClientProtocol(abc.ABC):
+    """Everything a SeeSaw client can do, independent of transport."""
+
+    # -- discovery -----------------------------------------------------
+    @abc.abstractmethod
+    def capabilities(self) -> "dict[str, Any]":
+        """The server's negotiated features, limits, and compute topology."""
+
+    @abc.abstractmethod
+    def healthz(self) -> "dict[str, Any]":
+        """Liveness plus live registry/telemetry counters."""
+
+    # -- session lifecycle ---------------------------------------------
+    @abc.abstractmethod
+    def start_session(self, request: StartSessionRequest) -> SessionInfo:
+        """Start a session; returns its summary (with the new session id)."""
+
+    @abc.abstractmethod
+    def session_info(self, session_id: str) -> SessionInfo:
+        """Progress summary for one session."""
+
+    @abc.abstractmethod
+    def list_sessions(
+        self, cursor: "str | None" = None, limit: "int | None" = None
+    ) -> SessionPage:
+        """One cursor-delimited page of live sessions, with telemetry."""
+
+    @abc.abstractmethod
+    def close_session(self, session_id: str) -> None:
+        """Close a session."""
+
+    # -- the search loop -----------------------------------------------
+    @abc.abstractmethod
+    def next_results(
+        self, session_id: str, count: "int | None" = None
+    ) -> NextResultsResponse:
+        """Fetch the next result batch for a session."""
+
+    @abc.abstractmethod
+    def stream_next_results(
+        self, session_id: str, count: "int | None" = None
+    ) -> "Iterator[ResultItem]":
+        """Fetch the next batch, yielding items as they arrive.
+
+        Same results as :meth:`next_results`, incrementally: over HTTP the
+        items decode straight off the chunked NDJSON stream, so a UI can
+        render the first image of a large batch before the last one is on
+        the wire.
+        """
+
+    @abc.abstractmethod
+    def batch_next(
+        self, requests: "Sequence[tuple[str, int | None]]"
+    ) -> "list[NextResultsResponse | ReproError]":
+        """Fetch next batches for many sessions in one fused round trip.
+
+        Outcomes align positionally with ``requests``; a failed session
+        comes back as the typed exception instance (not raised), so callers
+        handle partial success uniformly across transports.
+        """
+
+    @abc.abstractmethod
+    def give_feedback(
+        self, request: FeedbackRequest, idempotency_key: "str | None" = None
+    ) -> SessionInfo:
+        """Submit feedback for one image of the session's current batch.
+
+        Passing an ``idempotency_key`` makes retries safe: a replay of the
+        same key and payload returns the original result without applying
+        the feedback twice.
+        """
+
+    # -- conveniences shared by every transport ------------------------
+    def iter_sessions(
+        self, page_size: "int | None" = None
+    ) -> "Iterator[SessionListEntry]":
+        """Walk the full session listing, following cursors page by page."""
+        cursor: "str | None" = None
+        while True:
+            page = self.list_sessions(cursor=cursor, limit=page_size)
+            yield from page.sessions
+            if page.next_cursor is None:
+                return
+            cursor = page.next_cursor
+
+    def close(self) -> None:
+        """Release any transport resources (no-op by default)."""
+
+    def __enter__(self) -> "SeeSawClientProtocol":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class InProcessClient(SeeSawClientProtocol):
+    """The protocol served by a :class:`SessionManager` in this process.
+
+    Mirrors the `/v1` boundary exactly — including the request validation
+    the app layer performs — so swapping it for an
+    :class:`~repro.server.client.HTTPClient` changes latency, never
+    behaviour.
+    """
+
+    def __init__(self, manager: SessionManager) -> None:
+        self.manager = manager
+
+    def capabilities(self) -> "dict[str, Any]":
+        return self.manager.capabilities()
+
+    def healthz(self) -> "dict[str, Any]":
+        return self.manager.health()
+
+    def start_session(self, request: StartSessionRequest) -> SessionInfo:
+        return self.manager.start_session(request)
+
+    def session_info(self, session_id: str) -> SessionInfo:
+        return self.manager.session_info(session_id)
+
+    def list_sessions(
+        self, cursor: "str | None" = None, limit: "int | None" = None
+    ) -> SessionPage:
+        return self.manager.list_sessions(cursor=cursor, limit=limit)
+
+    def close_session(self, session_id: str) -> None:
+        self.manager.close_session(session_id)
+
+    def next_results(
+        self, session_id: str, count: "int | None" = None
+    ) -> NextResultsResponse:
+        if count is not None:
+            validate_count(count)
+        return self.manager.next_results(session_id, count)
+
+    def stream_next_results(
+        self, session_id: str, count: "int | None" = None
+    ) -> "Iterator[ResultItem]":
+        # In-process there is no wire to stream over; the whole batch is
+        # computed up front (exactly like the server side of the NDJSON
+        # path) and handed out item by item.
+        yield from self.next_results(session_id, count).items
+
+    def batch_next(
+        self, requests: "Sequence[tuple[str, int | None]]"
+    ) -> "list[NextResultsResponse | ReproError]":
+        for _, count in requests:
+            if count is not None:
+                validate_count(count)
+        return self.manager.batch_next(requests)
+
+    def give_feedback(
+        self, request: FeedbackRequest, idempotency_key: "str | None" = None
+    ) -> SessionInfo:
+        return self.manager.give_feedback(request, idempotency_key=idempotency_key)

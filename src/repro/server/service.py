@@ -19,7 +19,7 @@ import numpy as np
 from repro.config import MultiscaleConfig, SeeSawConfig
 from repro.core.indexing import SeeSawIndex
 from repro.core.seesaw_method import SeeSawSearchMethod
-from repro.core.session import SearchSession
+from repro.core.session import SearchSession, SessionStats
 from repro.data.dataset import ImageDataset
 from repro.embedding.base import EmbeddingModel
 from repro.exceptions import ReproError, SessionError, UnknownResourceError
@@ -350,6 +350,10 @@ class SeeSawService:
             positives_found=session.relevant_found,
             rounds=session.stats.rounds,
         )
+
+    def session_stats(self, session_id: str) -> "SessionStats":
+        """Latency accounting for one session (``GET /v1/sessions`` telemetry)."""
+        return self._session(session_id).stats
 
     def close_session(self, session_id: str) -> None:
         """Forget a session."""

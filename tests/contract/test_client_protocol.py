@@ -1,0 +1,309 @@
+"""Dual-transport contract suite for :class:`SeeSawClientProtocol`.
+
+Every test here runs twice — once through :class:`InProcessClient` (direct
+``SessionManager`` calls) and once through :class:`HTTPClient` (the `/v1`
+wire protocol over a real socket) — against the *same* service.  The suite
+is the guarantee the redesign exists for: a caller programming against the
+protocol observes identical results, identical typed errors, and identical
+validation through either transport.
+
+The final test drives the same scenario script through both transports and
+compares the normalized transcripts event by event.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SeeSawConfig
+from repro.exceptions import (
+    IdempotencyConflictError,
+    ReproError,
+    SessionError,
+    TransportError,
+    UnknownResourceError,
+)
+from repro.server import (
+    FeedbackRequest,
+    HTTPClient,
+    InProcessClient,
+    SeeSawApp,
+    SeeSawService,
+    SessionManager,
+    StartSessionRequest,
+    serve_in_background,
+)
+from repro.server.codec import MAX_RESULT_COUNT
+
+TRANSPORTS = ("inprocess", "http")
+
+
+@pytest.fixture(scope="module")
+def stack(tiny_dataset, tiny_clip):
+    """One service + manager + live HTTP server shared by the whole module."""
+    service = SeeSawService(SeeSawConfig(embedding_dim=64, seed=7))
+    service.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+    manager = SessionManager(service)
+    app = SeeSawApp(manager)
+    with serve_in_background(app) as server:
+        yield manager, server.url
+
+
+@pytest.fixture(scope="module")
+def make_client(stack):
+    manager, url = stack
+
+    def _make(kind: str):
+        if kind == "inprocess":
+            return InProcessClient(manager)
+        return HTTPClient(url, client_id=f"contract-{kind}")
+
+    return _make
+
+
+@pytest.fixture(params=TRANSPORTS)
+def client(request, make_client):
+    return make_client(request.param)
+
+
+@pytest.fixture(autouse=True)
+def clean_sessions(stack):
+    """Each test starts from an empty session registry."""
+    manager, _ = stack
+    yield
+    for entry in list(InProcessClient(manager).iter_sessions()):
+        manager.close_session(entry.info.session_id)
+
+
+def start(client, query: str = "a cat_easy", batch_size: int = 2):
+    return client.start_session(
+        StartSessionRequest(dataset="tiny", text_query=query, batch_size=batch_size)
+    )
+
+
+def label_all(client, session_id: str, items, relevant: bool = False):
+    for item in items:
+        client.give_feedback(
+            FeedbackRequest(
+                session_id=session_id, image_id=item.image_id, relevant=relevant
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# per-transport behaviour (each test runs under both transports)
+# ---------------------------------------------------------------------------
+class TestDiscovery:
+    def test_capabilities_and_health(self, client):
+        capabilities = client.capabilities()
+        assert capabilities["protocol"]["version"] == "v1"
+        assert capabilities["features"]["idempotent_feedback"] is True
+        assert capabilities["limits"]["max_count"] == MAX_RESULT_COUNT
+        assert client.healthz()["status"] == "ok"
+
+    def test_capabilities_identical_across_transports(self, make_client):
+        assert (
+            make_client("inprocess").capabilities()
+            == make_client("http").capabilities()
+        )
+
+
+class TestSearchLoop:
+    def test_full_session(self, client):
+        info = start(client)
+        assert info.rounds == 0
+        for _ in range(2):
+            batch = client.next_results(info.session_id)
+            assert len(batch.items) == 2
+            label_all(client, info.session_id, batch.items)
+        summary = client.session_info(info.session_id)
+        assert summary.total_shown == 4
+        assert summary.rounds == 2
+        client.close_session(info.session_id)
+        with pytest.raises(UnknownResourceError):
+            client.session_info(info.session_id)
+
+    def test_streaming_equals_single_shot(self, client):
+        single = start(client, batch_size=3)
+        streamed = start(client, batch_size=3)
+        expected = client.next_results(single.session_id).items
+        received = list(client.stream_next_results(streamed.session_id))
+        assert [
+            (item.image_id, item.score, item.box_x, item.box_y) for item in received
+        ] == [
+            (item.image_id, item.score, item.box_x, item.box_y) for item in expected
+        ]
+
+    def test_batch_next_partial_failure(self, client):
+        info = start(client)
+        outcomes = client.batch_next(
+            [("no-such-session", None), (info.session_id, 2), ("also-missing", 1)]
+        )
+        assert isinstance(outcomes[0], UnknownResourceError)
+        assert not isinstance(outcomes[1], ReproError)
+        assert len(outcomes[1].items) == 2
+        assert isinstance(outcomes[2], UnknownResourceError)
+
+    def test_pending_batch_blocks_next(self, client):
+        info = start(client)
+        client.next_results(info.session_id)
+        with pytest.raises(SessionError, match="unlabelled"):
+            client.next_results(info.session_id)
+
+
+class TestValidationParity:
+    def test_unknown_session_raises_typed_404(self, client):
+        with pytest.raises(UnknownResourceError, match="no-such"):
+            client.session_info("no-such-session")
+
+    def test_unknown_dataset_raises_typed_404(self, client):
+        with pytest.raises(UnknownResourceError, match="not registered"):
+            client.start_session(
+                StartSessionRequest(dataset="missing", text_query="a cat")
+            )
+
+    @pytest.mark.parametrize("count", [0, -1, MAX_RESULT_COUNT + 1])
+    def test_count_bounds_rejected(self, client, count):
+        info = start(client)
+        with pytest.raises(TransportError, match="count"):
+            client.next_results(info.session_id, count=count)
+
+    @pytest.mark.parametrize("count", [0, MAX_RESULT_COUNT + 1])
+    def test_batch_count_bounds_rejected(self, client, count):
+        info = start(client)
+        with pytest.raises(TransportError, match="count"):
+            client.batch_next([(info.session_id, count)])
+
+    def test_bad_cursor_rejected(self, client):
+        with pytest.raises(TransportError, match="cursor"):
+            client.list_sessions(cursor="!!not-a-cursor!!")
+
+    def test_feedback_for_unshown_image_rejected(self, client):
+        info = start(client)
+        client.next_results(info.session_id)
+        with pytest.raises(SessionError, match="not awaiting"):
+            client.give_feedback(
+                FeedbackRequest(
+                    session_id=info.session_id, image_id=999_999, relevant=True
+                )
+            )
+
+
+class TestIdempotencyParity:
+    def test_replay_is_exact_and_single_apply(self, client):
+        info = start(client)
+        batch = client.next_results(info.session_id)
+        request = FeedbackRequest(
+            session_id=info.session_id,
+            image_id=batch.items[0].image_id,
+            relevant=True,
+        )
+        first = client.give_feedback(request, idempotency_key="retry-1")
+        replay = client.give_feedback(request, idempotency_key="retry-1")
+        assert replay == first
+        assert client.session_info(info.session_id).positives_found == 1
+
+    def test_key_reuse_with_different_payload_conflicts(self, client):
+        info = start(client)
+        batch = client.next_results(info.session_id)
+        client.give_feedback(
+            FeedbackRequest(
+                session_id=info.session_id,
+                image_id=batch.items[0].image_id,
+                relevant=True,
+            ),
+            idempotency_key="retry-1",
+        )
+        with pytest.raises(IdempotencyConflictError, match="retry-1"):
+            client.give_feedback(
+                FeedbackRequest(
+                    session_id=info.session_id,
+                    image_id=batch.items[1].image_id,
+                    relevant=False,
+                ),
+                idempotency_key="retry-1",
+            )
+
+
+class TestListingParity:
+    def test_cursor_walk_sees_every_session(self, client):
+        ids = [start(client).session_id for _ in range(5)]
+        walked = [entry.info.session_id for entry in client.iter_sessions(page_size=2)]
+        assert walked == ids
+        page = client.list_sessions(limit=2)
+        assert len(page.sessions) == 2
+        assert page.next_cursor is not None
+
+    def test_entries_carry_info_and_telemetry(self, client):
+        info = start(client)
+        batch = client.next_results(info.session_id)
+        label_all(client, info.session_id, batch.items)
+        [entry] = client.list_sessions().sessions
+        assert entry.info.session_id == info.session_id
+        assert entry.info.rounds == 1
+        assert entry.lookup_seconds > 0.0
+        assert entry.update_seconds > 0.0
+        assert entry.idle_seconds >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# transcript parity: the same scenario script through both transports
+# ---------------------------------------------------------------------------
+def run_scenario(client) -> "list[object]":
+    """A full interactive scenario, recorded as a normalized transcript.
+
+    Session ids are transport-run specific (they encode creation order), so
+    events record only transport-independent facts: item identities and
+    scores, progress counters, and the types of raised errors.
+    """
+    transcript: "list[object]" = []
+    info = start(client, query="a cat_hard", batch_size=3)
+    transcript.append(("started", info.dataset, info.text_query, info.rounds))
+    for round_index in range(3):
+        batch = client.next_results(info.session_id)
+        transcript.append(
+            (
+                "batch",
+                round_index,
+                [(item.image_id, item.score) for item in batch.items],
+                batch.total_shown,
+            )
+        )
+        label_all(client, info.session_id, batch.items, relevant=round_index == 0)
+    streamed = list(client.stream_next_results(info.session_id, count=4))
+    transcript.append(("streamed", [(item.image_id, item.score) for item in streamed]))
+    label_all(client, info.session_id, streamed)
+    try:
+        client.next_results(info.session_id, count=0)
+    except ReproError as exc:
+        transcript.append(("bad-count", type(exc).__name__))
+    summary = client.session_info(info.session_id)
+    transcript.append(("summary", summary.total_shown, summary.positives_found, summary.rounds))
+    outcomes = client.batch_next([(info.session_id, 2), ("ghost", None)])
+    transcript.append(
+        (
+            "batch-next",
+            [
+                type(outcome).__name__
+                if isinstance(outcome, ReproError)
+                else len(outcome.items)
+                for outcome in outcomes
+            ],
+        )
+    )
+    client.close_session(info.session_id)
+    try:
+        client.session_info(info.session_id)
+    except ReproError as exc:
+        transcript.append(("after-close", type(exc).__name__))
+    return transcript
+
+
+def test_scenario_transcripts_identical_across_transports(make_client, stack):
+    manager, _ = stack
+    transcripts = {}
+    for kind in TRANSPORTS:
+        transcripts[kind] = run_scenario(make_client(kind))
+        for entry in list(InProcessClient(manager).iter_sessions()):
+            manager.close_session(entry.info.session_id)
+    assert transcripts["inprocess"] == transcripts["http"]
