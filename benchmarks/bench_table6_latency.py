@@ -7,6 +7,7 @@ from repro.bench.experiments import (
     table6_protocol_streaming,
     table6_service_latency,
     table6_sharded_latency,
+    table6_telemetry_overhead,
 )
 
 
@@ -142,6 +143,27 @@ def test_table6_protocol_streaming(benchmark, bundles, save_report):
         f"streaming total regressed vs single-shot: "
         f"{streaming[largest]['total_ms']:.3f}ms vs "
         f"{single[largest]['total_ms']:.3f}ms"
+    )
+
+
+def test_table6_telemetry_overhead(benchmark, bundles, save_report):
+    """Observability row: per-round engine latency with tracing spans
+    enabled vs disabled (interleaved min-of-repeats)."""
+    result = benchmark.pedantic(
+        lambda: table6_telemetry_overhead(bundles["bdd"], repeats=5),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("table6_telemetry_overhead", result.format_text())
+    # Enabled mode actually traced the hot path (score/pool/select spans).
+    assert result.spans_recorded > 0
+    # The acceptance gate: enabled telemetry costs < 5% per round.  These
+    # are sub-millisecond timings, so a small absolute epsilon (50µs)
+    # absorbs scheduler jitter that a pure ratio would amplify at this
+    # scale without ever letting a real per-span regression through.
+    assert result.enabled_ms <= result.disabled_ms * 1.05 + 0.05, (
+        f"telemetry overhead above 5%: enabled {result.enabled_ms:.3f}ms vs "
+        f"disabled {result.disabled_ms:.3f}ms ({result.overhead_pct:+.1f}%)"
     )
 
 

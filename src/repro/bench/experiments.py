@@ -728,6 +728,108 @@ def table6_engine_latency(
 
 
 # ---------------------------------------------------------------------------
+# Table 6 (telemetry) — hot-path overhead of the observability layer
+# ---------------------------------------------------------------------------
+@dataclass
+class TelemetryOverheadResult:
+    """Per-round engine latency with tracing enabled vs disabled."""
+
+    rounds: int
+    repeats: int
+    disabled_ms: float
+    enabled_ms: float
+    spans_recorded: int
+
+    @property
+    def overhead_pct(self) -> float:
+        """Relative per-round cost of enabled telemetry, in percent."""
+        return (self.enabled_ms / max(self.disabled_ms, 1e-12) - 1.0) * 100.0
+
+    def format_text(self) -> str:
+        return format_table(
+            ["mode", "per_round_ms", "spans"],
+            [
+                ["disabled", self.disabled_ms, 0],
+                ["enabled", self.enabled_ms, self.spans_recorded],
+                ["overhead_pct", self.overhead_pct, ""],
+            ],
+            title=(
+                "Table 6 (telemetry): per-round engine latency, "
+                "tracing spans enabled vs disabled"
+            ),
+            float_format="{:.3f}",
+        )
+
+
+def table6_telemetry_overhead(
+    bundle: DatasetBundle,
+    rounds: int = 10,
+    batch_size: int = 10,
+    repeats: int = 5,
+) -> TelemetryOverheadResult:
+    """Measure what the tracing spans cost on the engine round hot path.
+
+    The same workload as the engine-latency experiment — ``rounds`` batches
+    through an engine-backed ``SearchContext`` — run twice per repeat with
+    the tracing runtime flipped between runs (interleaved, so drift in
+    machine load hits both modes equally).  Disabled mode exercises the
+    :data:`~repro.obs.NOOP_SPAN` fast path; enabled mode records every
+    score/pool/select span into a private registry.  The best of ``repeats``
+    per mode is reported — the CI gate holds the enabled/disabled ratio
+    under the acceptance threshold.
+    """
+    import time
+
+    from repro import obs
+    from repro.core.interfaces import SearchContext
+
+    index = bundle.multiscale_index
+    query = bundle.embedding.embed_text(bundle.queries(ExperimentScale())[0].prompt)
+    total_rounds = min(rounds, max(1, len(index.image_ids) // batch_size))
+    registry = obs.MetricsRegistry()
+    was_enabled = obs.tracing_enabled()
+
+    def run_rounds() -> float:
+        context = SearchContext(index)
+        excluded: set[int] = set()
+        start = time.perf_counter()
+        for _ in range(total_rounds):
+            results = context.top_unseen_images(query, batch_size, excluded)
+            shown = [result.image_id for result in results]
+            context.mark_seen(shown)
+            excluded |= set(shown)
+        return (time.perf_counter() - start) / total_rounds
+
+    disabled_s = float("inf")
+    enabled_s = float("inf")
+    try:
+        # One warm-up pass outside the timed repeats (first-touch caches).
+        obs.configure(enabled=False, registry=registry)
+        run_rounds()
+        for _ in range(repeats):
+            obs.configure(enabled=False, registry=registry)
+            disabled_s = min(disabled_s, run_rounds())
+            obs.configure(enabled=True, registry=registry)
+            enabled_s = min(enabled_s, run_rounds())
+    finally:
+        obs.configure(enabled=was_enabled, registry=None)
+
+    stage_family = registry.get("seesaw_stage_seconds")
+    spans = (
+        sum(child.count for _, child in stage_family.collect())
+        if stage_family is not None
+        else 0
+    )
+    return TelemetryOverheadResult(
+        rounds=total_rounds,
+        repeats=repeats,
+        disabled_ms=disabled_s * 1000.0,
+        enabled_ms=enabled_s * 1000.0,
+        spans_recorded=spans,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Table 6 (service) — HTTP round-trip latency, warm vs cold index cache
 # ---------------------------------------------------------------------------
 @dataclass

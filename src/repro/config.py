@@ -131,6 +131,41 @@ class BenchmarkTaskConfig:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability knobs: tracing spans, slow-request log, series bounds.
+
+    Governs the :mod:`repro.obs` layer.  Runtime-only by construction —
+    none of these fields change what gets built, so (like ``n_shards``)
+    the section is excluded from the index-cache key.
+    """
+
+    enabled: bool = True
+    """Master switch for hot-path tracing spans.  ``False`` drops
+    ``trace_span`` to a shared no-op singleton (no span allocation, no
+    clock reads); request counters and access logs stay on — only the
+    per-stage instrumentation is elided."""
+    slow_request_ms: float = 0.0
+    """Requests slower than this threshold (milliseconds) emit a structured
+    warning on the ``repro.server.slow`` logger with the per-stage span
+    breakdown attached.  ``0`` disables the slow-request log."""
+    max_series_per_metric: int = 64
+    """Label-cardinality bound per metric family: past this many distinct
+    label sets, new label values collapse into one ``_overflow`` series so
+    a mislabelled caller cannot grow the registry without bound."""
+
+    def __post_init__(self) -> None:
+        if self.slow_request_ms < 0:
+            raise ConfigurationError(
+                f"slow_request_ms must be >= 0, got {self.slow_request_ms}"
+            )
+        if self.max_series_per_metric < 1:
+            raise ConfigurationError(
+                f"max_series_per_metric must be >= 1, got "
+                f"{self.max_series_per_metric}"
+            )
+
+
+@dataclass(frozen=True)
 class SeeSawConfig:
     """Top-level configuration combining every tunable piece of SeeSaw."""
 
@@ -207,6 +242,10 @@ class SeeSawConfig:
     memory stays evictable and shared across processes.  Legacy compressed
     entries still load through the ``.npz`` path.  Runtime knob, excluded
     from the cache key."""
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    """Observability section (:mod:`repro.obs`): span tracing switch,
+    slow-request log threshold, metric-series cardinality bound.  Runtime
+    knobs only — excluded from the index-cache key."""
 
     def __post_init__(self) -> None:
         if self.embedding_dim < 2:
@@ -253,6 +292,7 @@ class SeeSawConfig:
             "multiscale": MultiscaleConfig,
             "optimizer": OptimizerConfig,
             "task": BenchmarkTaskConfig,
+            "telemetry": TelemetryConfig,
         }
         kwargs: dict[str, Any] = {}
         for key, value in data.items():
@@ -287,6 +327,8 @@ class SeeSawConfig:
             "rate_limit_rps": self.rate_limit_rps,
             "rate_limit_burst": self.rate_limit_burst,
             "mmap_index": self.mmap_index,
+            "telemetry_enabled": self.telemetry.enabled,
+            "slow_request_ms": self.telemetry.slow_request_ms,
         }
 
 

@@ -37,6 +37,7 @@ import numpy as np
 from repro.engine.engine import QueryEngine
 from repro.engine.mask import SeenMask
 from repro.exceptions import SessionError, VectorStoreError
+from repro.obs import trace_span
 from repro.utils.linalg import ensure_dtype
 
 BatchSelection = "tuple[np.ndarray, np.ndarray, np.ndarray]"
@@ -113,8 +114,11 @@ class BatchQueryEngine:
                 engine.top_unseen_arrays(queries[row], counts[row], masks[row])
                 for row in range(session_count)
             ]
-        vector_scores = engine.store.score_many(queries)
-        image_scores = engine.segments.pool_max_batch(vector_scores)
+        with trace_span("score", sessions=session_count):
+            vector_scores = engine.store.score_many(queries)
+        with trace_span("pool"):
+            image_scores = engine.segments.pool_max_batch(vector_scores)
+        # Per-row selection spans itself through engine.select_pooled.
         return [
             engine.select_pooled(
                 image_scores[row], vector_scores[row], counts[row], masks[row]

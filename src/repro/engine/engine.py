@@ -32,6 +32,7 @@ import numpy as np
 from repro.engine.mask import SeenMask
 from repro.engine.segments import ImageSegments
 from repro.exceptions import SessionError, VectorStoreError
+from repro.obs import trace_span
 from repro.vectorstore.base import VectorStore
 
 
@@ -91,7 +92,8 @@ class QueryEngine:
         if count < 1:
             raise SessionError("count must be >= 1")
         if self.store.exhaustive:
-            vector_scores = self.store.score_all(query)
+            with trace_span("score"):
+                vector_scores = self.store.score_all(query)
             return self._select_from_vector_scores(vector_scores, count, mask)
         return self._top_unseen_candidates(query, count, mask)
 
@@ -120,7 +122,8 @@ class QueryEngine:
         count: int,
         mask: "SeenMask | None",
     ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
-        image_scores = self.segments.pool_max(vector_scores)  # fresh array
+        with trace_span("pool"):
+            image_scores = self.segments.pool_max(vector_scores)  # fresh array
         return self.select_pooled(image_scores, vector_scores, count, mask)
 
     def select_pooled(
@@ -137,18 +140,19 @@ class QueryEngine:
         per session, each row consumed exactly once.
         """
         segments = self.segments
-        if mask is not None and mask.seen_count:
-            image_scores[mask.image_seen] = -np.inf
-        k = min(count, image_scores.size)
-        if k == 0:
-            empty = np.zeros(0, dtype=np.int64)
-            return empty, np.zeros(0), empty.copy()
-        top = np.argpartition(-image_scores, k - 1)[:k]
-        # Deterministic ordering: score descending, image row ascending.
-        top = top[np.lexsort((top, -image_scores[top]))]
-        top = top[np.isfinite(image_scores[top])]
-        best_vectors = segments.best_vectors_in_rows(vector_scores, top)
-        return segments.image_ids[top], image_scores[top], best_vectors
+        with trace_span("select"):
+            if mask is not None and mask.seen_count:
+                image_scores[mask.image_seen] = -np.inf
+            k = min(count, image_scores.size)
+            if k == 0:
+                empty = np.zeros(0, dtype=np.int64)
+                return empty, np.zeros(0), empty.copy()
+            top = np.argpartition(-image_scores, k - 1)[:k]
+            # Deterministic ordering: score descending, image row ascending.
+            top = top[np.lexsort((top, -image_scores[top]))]
+            top = top[np.isfinite(image_scores[top])]
+            best_vectors = segments.best_vectors_in_rows(vector_scores, top)
+            return segments.image_ids[top], image_scores[top], best_vectors
 
     def _top_unseen_candidates(
         self,
@@ -168,7 +172,10 @@ class QueryEngine:
         k = count * per_image + excluded_vectors
         while True:
             k = min(k, vector_count)
-            ids, scores = self.store.search_arrays(query, k=k, exclude_mask=exclude)
+            with trace_span("score"):
+                ids, scores = self.store.search_arrays(
+                    query, k=k, exclude_mask=exclude
+                )
             rows = segments.vector_image_rows[ids]
             covered = rows >= 0
             if not covered.all():

@@ -14,6 +14,11 @@ Innermost out:
   implemented by :class:`InProcessClient` (no sockets) and
   :class:`HTTPClient` (the `/v1` wire client); :class:`ServiceClient` is the
   preserved legacy-route client.
+
+Every layer records into the :mod:`repro.obs` metrics registry (request
+counters and latency in the middleware, lock/coalesce waits in the manager,
+fused-dispatch accounting in the service, per-stage spans in the engines);
+``GET /v1/metrics`` exposes the registry in Prometheus text and JSON.
 """
 
 from repro.server.api import (
@@ -39,12 +44,16 @@ from repro.server.http import (
 )
 from repro.server.manager import SessionManager
 from repro.server.middleware import (
+    PROMETHEUS_CONTENT_TYPE,
     AccessLogMiddleware,
     MiddlewarePipeline,
     RateLimitMiddleware,
     Request,
     RequestIdMiddleware,
     Response,
+    emit_access_record,
+    record_request_metrics,
+    route_template,
 )
 from repro.server.protocol import InProcessClient, SeeSawClientProtocol
 from repro.server.service import SeeSawService
@@ -69,6 +78,10 @@ __all__ = [
     "RequestIdMiddleware",
     "AccessLogMiddleware",
     "RateLimitMiddleware",
+    "PROMETHEUS_CONTENT_TYPE",
+    "emit_access_record",
+    "record_request_metrics",
+    "route_template",
     "PROTOCOL_VERSION",
     "PROTOCOL_REVISION",
     "StartSessionRequest",

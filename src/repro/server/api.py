@@ -18,9 +18,14 @@ PROTOCOL_VERSION = "v1"
 on breaking changes; within a version, additions are announced through the
 ``revision`` counter and ``GET /v1/capabilities``."""
 
-PROTOCOL_REVISION = 1
+PROTOCOL_REVISION = 2
 """Monotonic feature counter within the protocol version.  Clients that need
-a newly added capability compare against this instead of sniffing routes."""
+a newly added capability compare against this instead of sniffing routes.
+
+Revision history: 1 — initial /v1 surface (streaming, idempotency, paging,
+batch-next); 2 — metrics exposition (``GET /v1/metrics``), ``tracing`` and
+``metrics_exposition`` capability flags, ``seconds_per_round`` in the
+session-listing telemetry."""
 
 
 @dataclass(frozen=True)
@@ -111,6 +116,10 @@ class SessionListEntry:
     idle_seconds: float
     lookup_seconds: float
     update_seconds: float
+    seconds_per_round: float = 0.0
+    """Mean round latency this session has observed (lookup + update credit
+    per completed round) — the per-session cumulative stat the obs PR
+    surfaces; 0.0 before the first round completes."""
 
 
 @dataclass(frozen=True)

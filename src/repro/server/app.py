@@ -12,6 +12,8 @@ Two route families share one set of handlers:
 -------------------------------------
 ``GET  /v1/healthz``                    liveness + registry summary
 ``GET  /v1/capabilities``               negotiated features, limits, topology
+``GET  /v1/metrics``                    metrics exposition (Prometheus text,
+                                        ``?format=json`` for JSON)
 ``GET  /v1/sessions``                   cursor-paged session listing
 ``POST /v1/sessions``                   start a session
 ``POST /v1/sessions/batch-next``        fused next batches for many sessions
@@ -36,6 +38,7 @@ response shapes — including the ``{"error": {"type", "message"}}`` envelope
 from __future__ import annotations
 
 import logging
+import time
 from typing import Any, Iterator, Sequence
 from urllib.parse import parse_qs, urlsplit
 
@@ -74,6 +77,8 @@ from repro.server.middleware import (
     Request,
     RequestIdMiddleware,
     Response,
+    emit_access_record,
+    record_request_metrics,
 )
 
 
@@ -85,7 +90,13 @@ def error_payload(kind: str, message: str) -> "dict[str, object]":
 def default_middlewares(manager: SessionManager) -> "list[Middleware]":
     """The standard pipeline: request ids, access logs, optional rate limits."""
     config = manager.service.config
-    middlewares: "list[Middleware]" = [RequestIdMiddleware(), AccessLogMiddleware()]
+    middlewares: "list[Middleware]" = [
+        RequestIdMiddleware(),
+        AccessLogMiddleware(
+            registry=manager.service.metrics,
+            slow_request_ms=config.telemetry.slow_request_ms,
+        ),
+    ]
     if config.rate_limit_rps > 0:
         middlewares.append(
             RateLimitMiddleware(config.rate_limit_rps, config.rate_limit_burst)
@@ -136,11 +147,14 @@ class SeeSawApp:
         )
         if response.stream is not None:
             return response.status, {"stream": list(response.stream)}
+        if response.text is not None:
+            return response.status, {"text": response.text}
         assert response.payload is not None
         return response.status, response.payload
 
     def handle_request(self, request: Request) -> Response:
         """Full entry point: middleware pipeline around the router."""
+        started = time.perf_counter()
         try:
             return self.pipeline.run(request, self._endpoint)
         except Exception as exc:
@@ -148,25 +162,29 @@ class SeeSawApp:
             # custom middleware) — everything the router raises is already
             # mapped inside _endpoint.  The pipeline was abandoned
             # mid-flight, so the observability middlewares never saw a
-            # response: restore the request-id echo and emit the access
-            # record here, or exactly the throttled traffic would be the
-            # part missing from the logs.
+            # response: restore the request-id echo and emit the same
+            # complete access record and registry counts a handled request
+            # gets, or exactly the throttled traffic would be the part
+            # missing from the logs and the metrics.
+            duration_ms = (time.perf_counter() - started) * 1000.0
             response = self._error_response(request, exc)
             if request.request_id is not None:
                 response.headers.setdefault(
                     RequestIdMiddleware.HEADER, request.request_id
                 )
-            logging.getLogger(ACCESS_LOGGER_NAME).info(
-                "%s %s -> %d (rejected in middleware)",
-                request.method,
-                request.target,
+            emit_access_record(
+                logging.getLogger(ACCESS_LOGGER_NAME),
+                request,
                 response.status,
-                extra={
-                    "request_id": request.request_id,
-                    "client": request.client_key,
-                    "status": response.status,
-                    "duration_ms": 0.0,
-                },
+                duration_ms,
+                stage="middleware",
+            )
+            record_request_metrics(
+                self.manager.service.metrics,
+                request,
+                response.status,
+                duration_ms / 1000.0,
+                rejected=True,
             )
             return response
 
@@ -260,6 +278,11 @@ class SeeSawApp:
 
         if segments == ["capabilities"] and method == "GET":
             return Response(200, self.manager.capabilities())
+
+        if segments == ["metrics"] and method == "GET":
+            if _wants_metrics_json(request, query):
+                return Response(200, self.manager.metrics_json())
+            return Response(200, text=self.manager.metrics_text())
 
         if segments == ["sessions"] and method == "GET":
             page = self.manager.list_sessions(
@@ -360,6 +383,23 @@ def _int_param(query: "dict[str, list[str]]", name: str) -> "int | None":
         raise TransportError(
             f"Query parameter '{name}' must be an integer, got '{values[-1]}'"
         ) from exc
+
+
+def _wants_metrics_json(request: Request, query: "dict[str, list[str]]") -> bool:
+    """Format negotiation for `/v1/metrics`: Prometheus text by default.
+
+    ``?format=json`` (or an ``Accept: application/json`` header) selects the
+    JSON exposition; ``?format=prometheus`` forces the text format.
+    """
+    fmt = _str_param(query, "format")
+    if fmt is not None:
+        if fmt not in ("prometheus", "json"):
+            raise TransportError(
+                f"Query parameter 'format' must be 'prometheus' or 'json', "
+                f"got '{fmt}'"
+            )
+        return fmt == "json"
+    return "application/json" in (request.header("Accept") or "")
 
 
 def _wants_ndjson(request: Request, query: "dict[str, list[str]]") -> bool:

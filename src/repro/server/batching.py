@@ -24,6 +24,12 @@ import time
 from typing import Callable, Sequence
 
 from repro.exceptions import ServiceOverloadedError
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    observe_stage,
+)
 
 DispatchFn = Callable[
     ["list[tuple[str, int | None]]"], "Sequence[object]"
@@ -37,13 +43,14 @@ _PROMOTED = object()
 class _PendingRequest:
     """One waiter: its request, a wakeup event, and its eventual outcome."""
 
-    __slots__ = ("session_id", "count", "event", "outcome")
+    __slots__ = ("session_id", "count", "event", "outcome", "enqueued_at")
 
     def __init__(self, session_id: str, count: "int | None") -> None:
         self.session_id = session_id
         self.count = count
         self.event = threading.Event()
         self.outcome: object = None
+        self.enqueued_at = time.perf_counter()
 
 
 class NextBatchCoalescer:
@@ -55,6 +62,7 @@ class NextBatchCoalescer:
         window_seconds: float,
         max_batch_size: int = 64,
         wait_timeout_seconds: float = 60.0,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         if window_seconds < 0:
             raise ValueError("window_seconds must be >= 0")
@@ -67,10 +75,27 @@ class NextBatchCoalescer:
         self._lock = threading.Lock()
         self._queue: "list[_PendingRequest]" = []
         self._leader_active = False
-        # Telemetry (read by /healthz): how much coalescing actually happens.
-        self.batches_dispatched = 0
-        self.requests_coalesced = 0
-        self.largest_batch = 0
+        # Window accounting lives in the obs registry: counters for batches
+        # and coalesced requests, a size histogram, and a high-water gauge.
+        # /healthz reads them back through stats() (deprecation shim).
+        self.metrics = registry if registry is not None else get_registry()
+        self._batches = self.metrics.counter(
+            "seesaw_coalescer_batches_total",
+            "Cohorts dispatched by the next-batch coalescer.",
+        )
+        self._requests = self.metrics.counter(
+            "seesaw_coalescer_requests_total",
+            "Next-batch requests served through coalesced cohorts.",
+        )
+        self._batch_size = self.metrics.histogram(
+            "seesaw_coalescer_batch_size",
+            "Cohort size distribution of the next-batch coalescer.",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._largest_batch = self.metrics.gauge(
+            "seesaw_coalescer_largest_batch",
+            "High-water cohort size since process start.",
+        )
 
     # ------------------------------------------------------------------
     # the one public entry point
@@ -181,11 +206,15 @@ class NextBatchCoalescer:
             outcomes: "Sequence[object]" = self._dispatch(entries)
         except BaseException as exc:  # defensive: fail waiters, don't strand them
             outcomes = [exc] * len(cohort)
-        with self._lock:
-            self.batches_dispatched += 1
-            self.requests_coalesced += len(cohort)
-            self.largest_batch = max(self.largest_batch, len(cohort))
+        self._batches.inc()
+        self._requests.inc(len(cohort))
+        self._batch_size.observe(len(cohort))
+        self._largest_batch.set_max(len(cohort))
+        # coalesce_wait: enqueue to outcome-ready, per member — the window
+        # sleep plus queueing delay each waiter actually paid for fusion.
+        now = time.perf_counter()
         for pending, outcome in zip(cohort, outcomes):
+            observe_stage("coalesce_wait", now - pending.enqueued_at)
             pending.outcome = outcome
             pending.event.set()
 
@@ -193,10 +222,14 @@ class NextBatchCoalescer:
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> "dict[str, int]":
-        """Telemetry snapshot for ``/healthz``."""
-        with self._lock:
-            return {
-                "batches_dispatched": self.batches_dispatched,
-                "requests_coalesced": self.requests_coalesced,
-                "largest_batch": self.largest_batch,
-            }
+        """Telemetry snapshot for ``/healthz``.
+
+        Deprecation shim: the counts moved into the obs registry
+        (``seesaw_coalescer_*``); this reads the same series back in the
+        pre-obs dict shape so existing ``/healthz`` consumers keep working.
+        """
+        return {
+            "batches_dispatched": int(self._batches.value),
+            "requests_coalesced": int(self._requests.value),
+            "largest_batch": int(self._largest_batch.value),
+        }

@@ -85,6 +85,12 @@ class HTTPClient(SeeSawClientProtocol):
     def healthz(self) -> "dict[str, Any]":
         return self._request("GET", "/v1/healthz")
 
+    def metrics_json(self) -> "dict[str, Any]":
+        return self._request("GET", "/v1/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        return self._request_text("GET", "/v1/metrics")
+
     # ------------------------------------------------------------------
     # session lifecycle
     # ------------------------------------------------------------------
@@ -220,6 +226,19 @@ class HTTPClient(SeeSawClientProtocol):
             return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise TransportError(f"Server returned invalid JSON: {exc}") from exc
+
+    def _request_text(self, method: str, path: str) -> str:
+        """A request whose response body is plain text (Prometheus format)."""
+        request = self._prepare(method, path)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                raw = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise self._wire_error(exc) from exc
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise TransportError(f"Server returned invalid UTF-8: {exc}") from exc
 
     def _stream(self, path: str) -> "Iterator[dict[str, Any]]":
         """Yield decoded NDJSON records as the chunked response arrives."""

@@ -275,6 +275,7 @@ def encode_session_list_entry(entry: SessionListEntry) -> "dict[str, Any]":
             "idle_seconds": entry.idle_seconds,
             "lookup_seconds": entry.lookup_seconds,
             "update_seconds": entry.update_seconds,
+            "seconds_per_round": entry.seconds_per_round,
         },
     }
 
@@ -290,6 +291,11 @@ def decode_session_list_entry(data: Any) -> SessionListEntry:
         ),
         update_seconds=_as_float(
             _require(telemetry, "update_seconds"), "update_seconds"
+        ),
+        # Added at protocol revision 2; default keeps revision-1 payloads
+        # (an older server behind a newer client) decodable.
+        seconds_per_round=_as_float(
+            telemetry.get("seconds_per_round", 0.0), "seconds_per_round"
         ),
     )
 

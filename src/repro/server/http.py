@@ -71,7 +71,10 @@ class SeeSawRequestHandler(BaseHTTPRequestHandler):
             self.wfile.write(b"0\r\n\r\n")
             self.wfile.flush()
             return
-        encoded = json.dumps(response.payload).encode("utf-8")
+        if response.text is not None:
+            encoded = response.text.encode("utf-8")
+        else:
+            encoded = json.dumps(response.payload).encode("utf-8")
         self.send_header("Content-Length", str(len(encoded)))
         self.end_headers()
         self.wfile.write(encoded)

@@ -43,6 +43,7 @@ from repro.exceptions import (
     TransportError,
     UnknownResourceError,
 )
+from repro.obs import timed_acquire
 from repro.server.api import (
     PROTOCOL_REVISION,
     PROTOCOL_VERSION,
@@ -108,6 +109,7 @@ class SessionManager:
                 self._dispatch_batch,
                 window_seconds=self.batch_window_ms / 1000.0,
                 max_batch_size=self.max_batch_size,
+                registry=service.metrics,
             )
             if self.batch_window_ms > 0
             else None
@@ -194,7 +196,7 @@ class SessionManager:
         if self._coalescer is not None:
             response = self._coalescer.submit(session_id, count)
         else:
-            with self._lock_for(session_id):
+            with timed_acquire(self._lock_for(session_id)):
                 response = self.service.next_results(session_id, count)
         self._touch(session_id)
         return response
@@ -241,7 +243,7 @@ class SessionManager:
         serviceable = [entry for entry in entries if entry[0] in known]
         with ExitStack() as stack:
             for session_id in sorted(known):
-                stack.enter_context(known[session_id])
+                stack.enter_context(timed_acquire(known[session_id]))
             results = self.service.batch_next(serviceable)
         by_position = iter(results)
         outcomes: "list[NextResultsResponse | ReproError]" = []
@@ -265,7 +267,7 @@ class SessionManager:
         :class:`IdempotencyConflictError` — silently answering a different
         request with the cached result would hide a client bug.
         """
-        with self._lock_for(request.session_id):
+        with timed_acquire(self._lock_for(request.session_id)):
             if idempotency_key is not None:
                 fingerprint = self._feedback_fingerprint(request)
                 cache = self._idempotency.get(request.session_id)
@@ -303,7 +305,7 @@ class SessionManager:
 
     def session_info(self, session_id: str) -> SessionInfo:
         """Thread-safe :meth:`SeeSawService.session_info`."""
-        with self._lock_for(session_id):
+        with timed_acquire(self._lock_for(session_id)):
             return self.service.session_info(session_id)
 
     def list_sessions(
@@ -349,6 +351,7 @@ class SessionManager:
                     idle_seconds=max(0.0, now - last_used.get(session_id, now)),
                     lookup_seconds=stats.lookup_seconds,
                     update_seconds=stats.update_seconds,
+                    seconds_per_round=stats.seconds_per_round,
                 )
             )
         next_cursor = encode_cursor(page[-1][0]) if remainder and page else None
@@ -447,6 +450,8 @@ class SessionManager:
                 "request_coalescing": self.batch_window_ms > 0,
                 "rate_limiting": config.rate_limit_rps > 0,
                 "legacy_routes": True,
+                "metrics_exposition": True,
+                "tracing": config.telemetry.enabled,
             },
             "limits": {
                 "max_sessions": self.max_sessions,
@@ -468,8 +473,26 @@ class SessionManager:
             "datasets": list(self.service.dataset_names),
         }
 
+    # ------------------------------------------------------------------
+    # metrics exposition (GET /v1/metrics)
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the service's registry."""
+        return self.service.metrics.to_prometheus_text()
+
+    def metrics_json(self) -> "dict[str, object]":
+        """The JSON exposition (same snapshot, quantile estimates included)."""
+        return self.service.metrics.to_json()
+
     def health(self) -> "dict[str, object]":
-        """The payload ``GET /healthz`` returns."""
+        """The payload ``GET /healthz`` returns.
+
+        The ``fused_rounds`` / ``fused_sessions`` / ``coalescer`` keys are
+        deprecation shims: since the obs subsystem they are read back from
+        the metrics registry (``seesaw_fused_*_total``,
+        ``seesaw_coalescer_*``), kept here so pre-obs dashboards and the
+        legacy route's byte-compatibility survive one more revision.
+        """
         coalescer_stats = (
             self._coalescer.stats()
             if self._coalescer is not None

@@ -5,10 +5,16 @@ handlers and into a small composable pipeline that wraps the router:
 
 * :class:`RequestIdMiddleware` — every request gets a request id (the
   client's ``X-Request-Id`` when supplied, else a generated one), echoed on
-  the response and threaded into error envelopes and access logs;
+  the response, bound to the tracing context
+  (:func:`repro.obs.set_request_id`) and threaded into error envelopes and
+  access logs;
 * :class:`AccessLogMiddleware` — one structured log record per request
-  (method, path, status, duration, request id, client key) on the
-  ``repro.server.access`` logger;
+  (method, path, status, duration, request id, client key, route template,
+  pipeline stage) on the ``repro.server.access`` logger; also the
+  per-request observability anchor — it opens the span collector, records
+  the request counter/latency histograms into the metrics registry, and
+  emits the structured slow-request log (``repro.server.slow``) with the
+  per-stage span breakdown when a request exceeds the configured threshold;
 * :class:`RateLimitMiddleware` — a per-client token bucket; a drained
   bucket raises :class:`~repro.exceptions.RateLimitedError`, which the app
   encodes as the structured 429 envelope.
@@ -17,6 +23,14 @@ Middlewares see the transport-agnostic :class:`Request`/:class:`Response`
 pair, so the pipeline runs identically under the HTTP transport and under
 direct in-process ``SeeSawApp.handle`` calls (the unit tests drive it
 without a socket).
+
+Rejections raised *inside* the pipeline (429 from the limiter, 400 from a
+decoder) never reach the access-log middleware's normal path — the app's
+backstop handler catches them and emits the **same record shape** through
+:func:`emit_access_record` / :func:`record_request_metrics`, so every
+request produces one complete access record and one counter increment no
+matter where in the pipeline it died.  The ``stage`` field says which path
+produced the record (``"handler"`` vs ``"middleware"``).
 """
 
 from __future__ import annotations
@@ -27,10 +41,23 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Sequence
+from urllib.parse import urlsplit
 
 from repro.exceptions import RateLimitedError
+from repro.obs import (
+    MetricsRegistry,
+    begin_request_trace,
+    end_request_trace,
+    get_registry,
+    reset_request_id,
+    set_request_id,
+)
 
 ACCESS_LOGGER_NAME = "repro.server.access"
+SLOW_LOGGER_NAME = "repro.server.slow"
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+"""Content type of the Prometheus text exposition format."""
 
 
 @dataclass
@@ -60,22 +87,26 @@ class Request:
 
 @dataclass
 class Response:
-    """One transport response: a JSON payload or an NDJSON stream.
+    """One transport response: a JSON payload, an NDJSON stream, or text.
 
-    Exactly one of ``payload`` (single-shot JSON body) and ``stream``
-    (iterator of JSON-serializable records, one NDJSON line each) is set.
+    Exactly one of ``payload`` (single-shot JSON body), ``stream``
+    (iterator of JSON-serializable records, one NDJSON line each) and
+    ``text`` (a plain-text body — the Prometheus exposition format) is set.
     """
 
     status: int
     payload: "dict[str, Any] | None" = None
     headers: "dict[str, str]" = field(default_factory=dict)
     stream: "Iterator[dict[str, Any]] | None" = None
+    text: "str | None" = None
 
     @property
     def content_type(self) -> str:
-        return (
-            "application/x-ndjson" if self.stream is not None else "application/json"
-        )
+        if self.stream is not None:
+            return "application/x-ndjson"
+        if self.text is not None:
+            return PROMETHEUS_CONTENT_TYPE
+        return "application/json"
 
 
 Handler = Callable[[Request], Response]
@@ -102,48 +133,181 @@ def _bind(middleware: Middleware, inner: Handler) -> Handler:
     return handler
 
 
+def route_template(target: str) -> str:
+    """Collapse a request target onto its route template.
+
+    Metric labels must stay bounded, so raw paths (which embed session ids)
+    never reach a label — every target maps onto one of the fixed templates
+    (``/v1/sessions/{id}/next``, ...) and anything unrecognized onto
+    ``.../other``.
+    """
+    path = urlsplit(target).path
+    segments = [segment for segment in path.split("/") if segment]
+    prefix = ""
+    if segments[:1] == ["v1"]:
+        prefix = "/v1"
+        segments = segments[1:]
+    if not segments:
+        return prefix or "/"
+    head = segments[0]
+    if head in ("healthz", "capabilities", "metrics") and len(segments) == 1:
+        return f"{prefix}/{head}"
+    if head == "sessions":
+        rest = segments[1:]
+        if not rest:
+            return f"{prefix}/sessions"
+        if rest == ["batch-next"]:
+            return f"{prefix}/sessions/batch-next"
+        if len(rest) == 1:
+            return f"{prefix}/sessions/{{id}}"
+        if len(rest) == 2 and rest[1] in ("next", "feedback"):
+            return f"{prefix}/sessions/{{id}}/{rest[1]}"
+    return f"{prefix}/other"
+
+
+def emit_access_record(
+    logger: logging.Logger,
+    request: Request,
+    status: int,
+    duration_ms: float,
+    stage: str,
+) -> None:
+    """The one access-record shape, shared by every request outcome.
+
+    ``stage`` says where the response came from: ``"handler"`` for requests
+    that reached the router, ``"middleware"`` for pipeline-raised rejections
+    (429/400 before the handler).  Both paths carry the full field set —
+    request id, client, status, real measured duration, route template — so
+    log consumers never see a partial record.
+    """
+    logger.info(
+        "%s %s -> %d (%.2fms)",
+        request.method,
+        request.target,
+        status,
+        duration_ms,
+        extra={
+            "request_id": request.request_id,
+            "client": request.client_key,
+            "status": status,
+            "duration_ms": duration_ms,
+            "route": route_template(request.target),
+            "stage": stage,
+        },
+    )
+
+
+def record_request_metrics(
+    registry: MetricsRegistry,
+    request: Request,
+    status: int,
+    duration_seconds: float,
+    rejected: bool = False,
+) -> None:
+    """Count one finished request in the registry (any pipeline outcome)."""
+    route = route_template(request.target)
+    registry.counter(
+        "seesaw_requests_total",
+        "Requests finished, by method, route template and status.",
+        labels=("method", "route", "status"),
+    ).labels(request.method, route, str(status)).inc()
+    registry.histogram(
+        "seesaw_request_seconds",
+        "End-to-end request latency through the middleware pipeline.",
+        labels=("route",),
+    ).labels(route).observe(duration_seconds)
+    if rejected:
+        registry.counter(
+            "seesaw_rejections_total",
+            "Requests rejected inside the middleware pipeline "
+            "(rate limiting, malformed transport), by status.",
+            labels=("status",),
+        ).labels(str(status)).inc()
+
+
 class RequestIdMiddleware:
-    """Assigns each request an id and echoes it on the response."""
+    """Assigns each request an id, echoes it, binds the tracing context."""
 
     HEADER = "X-Request-Id"
 
     def __call__(self, request: Request, handler: Handler) -> Response:
         request.request_id = request.header(self.HEADER) or uuid.uuid4().hex
-        response = handler(request)
+        # Bind the id to the tracing contextvar so any layer below — engine
+        # spans, slow logs, future exporters — can tag diagnostics with the
+        # originating request without an argument threaded through.
+        token = set_request_id(request.request_id)
+        try:
+            response = handler(request)
+        finally:
+            reset_request_id(token)
         response.headers.setdefault(self.HEADER, request.request_id)
         return response
 
 
 class AccessLogMiddleware:
-    """Emits one structured access-log record per handled request."""
+    """Structured access log + request metrics + slow-request detection."""
 
     def __init__(
         self,
         logger: "logging.Logger | None" = None,
         clock: "Callable[[], float]" = time.perf_counter,
+        registry: "MetricsRegistry | None" = None,
+        slow_request_ms: float = 0.0,
+        slow_logger: "logging.Logger | None" = None,
     ) -> None:
         self.logger = logger or logging.getLogger(ACCESS_LOGGER_NAME)
+        self.slow_logger = slow_logger or logging.getLogger(SLOW_LOGGER_NAME)
         self._clock = clock
+        self._registry = registry
+        self.slow_request_ms = float(slow_request_ms)
         self.requests_served = 0
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
 
     def __call__(self, request: Request, handler: Handler) -> Response:
         start = self._clock()
-        response = handler(request)
+        # Open the per-request span collector: every trace_span the handler
+        # opens below lands here (contextvars isolate concurrent requests).
+        trace_token = begin_request_trace()
+        try:
+            response = handler(request)
+        finally:
+            trace = end_request_trace(trace_token)
         elapsed_ms = (self._clock() - start) * 1000.0
         self.requests_served += 1
-        self.logger.info(
-            "%s %s -> %d (%.2fms)",
-            request.method,
-            request.target,
-            response.status,
-            elapsed_ms,
-            extra={
-                "request_id": request.request_id,
-                "client": request.client_key,
-                "status": response.status,
-                "duration_ms": elapsed_ms,
-            },
+        emit_access_record(
+            self.logger, request, response.status, elapsed_ms, stage="handler"
         )
+        record_request_metrics(
+            self.registry, request, response.status, elapsed_ms / 1000.0
+        )
+        if self.slow_request_ms > 0.0 and elapsed_ms >= self.slow_request_ms:
+            stages = trace.stage_millis() if trace is not None else {}
+            self.registry.counter(
+                "seesaw_slow_requests_total",
+                "Requests slower than telemetry.slow_request_ms, by route.",
+                labels=("route",),
+            ).labels(route_template(request.target)).inc()
+            self.slow_logger.warning(
+                "slow request %s %s -> %d (%.2fms >= %.2fms) stages=%s",
+                request.method,
+                request.target,
+                response.status,
+                elapsed_ms,
+                self.slow_request_ms,
+                stages,
+                extra={
+                    "request_id": request.request_id,
+                    "client": request.client_key,
+                    "status": response.status,
+                    "duration_ms": elapsed_ms,
+                    "route": route_template(request.target),
+                    "threshold_ms": self.slow_request_ms,
+                    "stages": stages,
+                },
+            )
         return response
 
 

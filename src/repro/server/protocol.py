@@ -47,6 +47,19 @@ class SeeSawClientProtocol(abc.ABC):
     def healthz(self) -> "dict[str, Any]":
         """Liveness plus live registry/telemetry counters."""
 
+    @abc.abstractmethod
+    def metrics_json(self) -> "dict[str, Any]":
+        """The metrics registry in the JSON exposition shape.
+
+        Every family with its series: counter/gauge values, histogram
+        buckets with p50/p99/p999 estimates — ``GET /v1/metrics?format=json``
+        over HTTP, the registry snapshot in process.
+        """
+
+    @abc.abstractmethod
+    def metrics_text(self) -> str:
+        """The metrics registry in the Prometheus text exposition format."""
+
     # -- session lifecycle ---------------------------------------------
     @abc.abstractmethod
     def start_session(self, request: StartSessionRequest) -> SessionInfo:
@@ -147,6 +160,12 @@ class InProcessClient(SeeSawClientProtocol):
 
     def healthz(self) -> "dict[str, Any]":
         return self.manager.health()
+
+    def metrics_json(self) -> "dict[str, Any]":
+        return self.manager.metrics_json()
+
+    def metrics_text(self) -> str:
+        return self.manager.metrics_text()
 
     def start_session(self, request: StartSessionRequest) -> SessionInfo:
         return self.manager.start_session(request)

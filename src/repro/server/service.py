@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.config import MultiscaleConfig, SeeSawConfig
 from repro.core.indexing import SeeSawIndex
 from repro.core.seesaw_method import SeeSawSearchMethod
@@ -38,7 +39,11 @@ from repro.vectorstore.sharded import ShardedVectorStore
 class SeeSawService:
     """Owns dataset indexes and live search sessions."""
 
-    def __init__(self, config: "SeeSawConfig | None" = None) -> None:
+    def __init__(
+        self,
+        config: "SeeSawConfig | None" = None,
+        registry: "obs.MetricsRegistry | None" = None,
+    ) -> None:
         self.config = config or SeeSawConfig()
         self._indexes: dict[tuple[str, bool], SeeSawIndex] = {}
         self._datasets: dict[str, tuple[ImageDataset, EmbeddingModel]] = {}
@@ -47,12 +52,58 @@ class SeeSawService:
         self._session_counter = itertools.count(1)
         self.cache_hits = 0
         self.cache_misses = 0
-        self.fused_rounds = 0
-        self.fused_sessions = 0
         # Builds for *different* datasets can run concurrently under the
         # SessionManager's per-dataset locks, so the shared counters need
         # their own guard.
         self._counter_lock = threading.Lock()
+        # The metrics sink every layer below this service records into.
+        # Defaults to the process-global registry; tests inject private
+        # instances for isolation.  Constructing a service also (re)points
+        # the tracing runtime at this registry and applies the telemetry
+        # master switch — the service is the stack's composition root.
+        self.metrics = registry if registry is not None else obs.get_registry()
+        obs.configure(
+            enabled=self.config.telemetry.enabled,
+            registry=registry,
+        )
+        telemetry = self.config.telemetry
+        if registry is not None:
+            self.metrics.max_series_per_metric = telemetry.max_series_per_metric
+        self._fused_rounds = self.metrics.counter(
+            "seesaw_fused_rounds_total",
+            "Fused batch-next dispatches (one GEMM per index group).",
+        )
+        self._fused_sessions = self.metrics.counter(
+            "seesaw_fused_sessions_total",
+            "Sessions served through fused batch-next dispatches.",
+        )
+        self._fused_batch_seconds = self.metrics.histogram(
+            "seesaw_fused_batch_seconds",
+            "Wall-clock duration of one fused batch-next GEMM dispatch.",
+        )
+        self._cache_events = self.metrics.counter(
+            "seesaw_index_cache_total",
+            "Index-cache lookups at dataset registration, by outcome.",
+            labels=("outcome",),
+        )
+        self.metrics.gauge(
+            "seesaw_active_sessions",
+            "Live interactive sessions owned by this service.",
+            callback=lambda: float(len(self._sessions)),
+        )
+
+    # ------------------------------------------------------------------
+    # deprecation shims (pre-obs bespoke counters; /healthz still reads them)
+    # ------------------------------------------------------------------
+    @property
+    def fused_rounds(self) -> int:
+        """Deprecated: read ``seesaw_fused_rounds_total`` from the registry."""
+        return int(self._fused_rounds.value)
+
+    @property
+    def fused_sessions(self) -> int:
+        """Deprecated: read ``seesaw_fused_sessions_total`` from the registry."""
+        return int(self._fused_sessions.value)
 
     # ------------------------------------------------------------------
     # dataset registry
@@ -113,6 +164,7 @@ class SeeSawService:
                         self.cache_hits += 1
                     else:
                         self.cache_misses += 1
+                self._cache_events.labels("hit" if was_cached else "miss").inc()
             else:
                 index = SeeSawIndex.build(dataset, embedding, config)
             # Quantization and shard topology are runtime tiers (excluded
@@ -304,6 +356,9 @@ class SeeSawService:
                 (position, session_id, session, query_vector, effective_count, mask)
             )
         for group in fused_groups.values():
+            # One perf_counter pair per dispatch: the same measurement feeds
+            # each session's SessionStats credit (per-session share) and the
+            # obs dispatch histogram (whole-GEMM wall clock).
             start = time.perf_counter()
             engine = group[0][2].index.batch_engine
             triples = engine.top_unseen_batch(
@@ -311,7 +366,11 @@ class SeeSawService:
                 [entry[4] for entry in group],
                 [entry[5] for entry in group],
             )
-            per_session_seconds = (time.perf_counter() - start) / len(group)
+            dispatch_seconds = time.perf_counter() - start
+            per_session_seconds = dispatch_seconds / len(group)
+            self._fused_batch_seconds.observe(dispatch_seconds)
+            self._fused_rounds.inc()
+            self._fused_sessions.inc(len(group))
             for (position, session_id, session, _, _, _), (ids, scores, vector_ids) in zip(
                 group, triples
             ):
@@ -321,9 +380,6 @@ class SeeSawService:
                     outcomes[position] = self._next_response(session_id, session, results)
                 except ReproError as exc:
                     outcomes[position] = exc
-        with self._counter_lock:
-            self.fused_rounds += len(fused_groups)
-            self.fused_sessions += sum(len(group) for group in fused_groups.values())
         for position in sequential:
             session_id, count = requests[position]
             try:

@@ -37,6 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import VectorStoreError
+from repro.obs import trace_span
 from repro.vectorstore.base import VectorRecord, VectorStore, deterministic_top_k
 
 _QUANT_LEVELS = 127
@@ -123,6 +124,7 @@ class QuantizedVectorStore(VectorStore):
             return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=self.compute_dtype)
         # Exact re-rank: true inner products in the compute dtype, selected
         # and ordered with the same deterministic rule as the exact store.
-        exact = self._vectors[candidates] @ query
-        top = deterministic_top_k(exact, candidates, min(k, candidates.size))
-        return candidates[top], exact[top]
+        with trace_span("rerank", candidates=int(candidates.size)):
+            exact = self._vectors[candidates] @ query
+            top = deterministic_top_k(exact, candidates, min(k, candidates.size))
+            return candidates[top], exact[top]

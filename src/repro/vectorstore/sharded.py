@@ -33,6 +33,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.exceptions import VectorStoreError
+from repro.obs import trace_span
 from repro.vectorstore.base import VectorRecord, VectorStore, deterministic_top_k
 from repro.vectorstore.exact import ExactVectorStore
 from repro.vectorstore.forest import RandomProjectionForest
@@ -263,16 +264,20 @@ class ShardedVectorStore(VectorStore):
             return ids + shard.start, scores
 
         parts: "list[tuple[np.ndarray, np.ndarray]]" = self._map_shards(run)  # type: ignore[assignment]
-        ids = np.concatenate([part[0] for part in parts])
-        scores = np.concatenate([part[1] for part in parts])
-        if ids.size == 0:
-            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=self.compute_dtype)
-        # Select and order with the exact store's deterministic rule (score
-        # desc, global id asc, ties resolved smallest-id-first at the k-th
-        # boundary) so the merged result is bit-identical to the unsharded
-        # result even when a tie group straddles the cut.
-        top = deterministic_top_k(scores, ids, k)
-        return ids[top], scores[top]
+        with trace_span("merge", shards=len(parts)):
+            ids = np.concatenate([part[0] for part in parts])
+            scores = np.concatenate([part[1] for part in parts])
+            if ids.size == 0:
+                return (
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=self.compute_dtype),
+                )
+            # Select and order with the exact store's deterministic rule
+            # (score desc, global id asc, ties resolved smallest-id-first at
+            # the k-th boundary) so the merged result is bit-identical to the
+            # unsharded result even when a tie group straddles the cut.
+            top = deterministic_top_k(scores, ids, k)
+            return ids[top], scores[top]
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -244,6 +244,31 @@ class TestListingParity:
         assert entry.lookup_seconds > 0.0
         assert entry.update_seconds > 0.0
         assert entry.idle_seconds >= 0.0
+        assert entry.seconds_per_round > 0.0
+
+
+class TestMetricsParity:
+    def test_both_expositions_available_on_each_transport(self, client):
+        info = start(client)  # make sure the registry has seen traffic
+        client.next_results(info.session_id)
+        text = client.metrics_text()
+        assert "# TYPE seesaw_requests_total counter" in text
+        assert "seesaw_stage_seconds_bucket" in text
+        payload = client.metrics_json()
+        names = {metric["name"] for metric in payload["metrics"]}
+        assert "seesaw_requests_total" in names
+        assert "seesaw_request_seconds" in names
+        assert "seesaw_active_sessions" in names
+
+    def test_metric_families_identical_across_transports(self, make_client):
+        make_client("http").healthz()  # ensure request families exist
+        families = {}
+        for kind in TRANSPORTS:
+            families[kind] = {
+                metric["name"]: metric["type"]
+                for metric in make_client(kind).metrics_json()["metrics"]
+            }
+        assert families["inprocess"] == families["http"]
 
 
 # ---------------------------------------------------------------------------

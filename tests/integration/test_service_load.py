@@ -22,6 +22,7 @@ from repro.config import SeeSawConfig
 from repro.exceptions import ServiceOverloadedError, UnknownResourceError
 from repro.server import (
     FeedbackRequest,
+    HTTPClient,
     SeeSawApp,
     SeeSawService,
     ServiceClient,
@@ -164,3 +165,60 @@ def test_explicit_batch_next_endpoint_under_load(loaded_server):
     finally:
         for info in infos:
             client.close_session(info.session_id)
+
+
+def _counter_series(payload: dict) -> "dict[tuple[str, tuple[tuple[str, str], ...]], float]":
+    """Flatten a JSON exposition into {(family, labelset): value} counters."""
+    series = {}
+    for metric in payload["metrics"]:
+        if metric["type"] != "counter":
+            continue
+        for entry in metric["series"]:
+            key = (metric["name"], tuple(sorted(entry["labels"].items())))
+            series[key] = entry["value"]
+    return series
+
+
+def test_metrics_scrape_after_load(loaded_server):
+    """Scraping `/v1/metrics` after the soak: every core series from the
+    telemetry catalog is present, and counters are monotone across scrapes
+    interleaved with live traffic."""
+    server, _ = loaded_server
+    client = HTTPClient(server.url, client_id="metrics-scraper")
+    text = client.metrics_text()
+    for needle in (
+        "# TYPE seesaw_requests_total counter",
+        "# TYPE seesaw_request_seconds histogram",
+        "seesaw_request_seconds_bucket",
+        'seesaw_requests_total{method="GET",route="/sessions/{id}/next"',
+        "seesaw_coalescer_batches_total",
+        "seesaw_coalescer_requests_total",
+        "seesaw_coalescer_batch_size_bucket",
+        "seesaw_fused_rounds_total",
+        "seesaw_fused_sessions_total",
+        "seesaw_fused_batch_seconds_count",
+        "seesaw_active_sessions",
+        'seesaw_stage_seconds_bucket{stage="score"',
+        'seesaw_stage_seconds_count{stage="coalesce_wait"}',
+        'seesaw_stage_seconds_count{stage="lock_wait"}',
+    ):
+        assert needle in text, f"missing series: {needle}"
+
+    first = _counter_series(client.metrics_json())
+    # More traffic between scrapes, so monotonicity is actually exercised.
+    info = client.start_session(
+        StartSessionRequest(dataset="tiny", text_query="a cat_easy", batch_size=2)
+    )
+    batch = client.next_results(info.session_id)
+    assert batch.items
+    client.close_session(info.session_id)
+    second = _counter_series(client.metrics_json())
+
+    assert set(first) <= set(second)
+    for key, value in first.items():
+        assert second[key] >= value, f"counter went backwards: {key}"
+    next_key = (
+        "seesaw_requests_total",
+        (("method", "GET"), ("route", "/v1/sessions/{id}/next"), ("status", "200")),
+    )
+    assert second[next_key] >= first.get(next_key, 0.0) + 1

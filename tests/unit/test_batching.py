@@ -7,6 +7,7 @@ import threading
 import pytest
 
 from repro.exceptions import ServiceOverloadedError, UnknownResourceError
+from repro.obs import MetricsRegistry
 from repro.server.batching import NextBatchCoalescer
 
 
@@ -33,7 +34,9 @@ class TestCoalescer:
 
     def test_concurrent_requests_share_a_cohort(self):
         dispatch = RecordingDispatch()
-        coalescer = NextBatchCoalescer(dispatch, window_seconds=0.05)
+        coalescer = NextBatchCoalescer(
+            dispatch, window_seconds=0.05, registry=MetricsRegistry()
+        )
         results: "dict[str, object]" = {}
         barrier = threading.Barrier(6, timeout=10.0)
 

@@ -27,6 +27,7 @@ from repro.exceptions import (
     UnknownResourceError,
 )
 from repro.server import (
+    PROTOCOL_REVISION,
     FeedbackRequest,
     SeeSawApp,
     SeeSawService,
@@ -249,10 +250,15 @@ class TestV1AppBoundary:
     def test_capabilities_payload(self, app):
         status, payload = app.handle("GET", "/v1/capabilities")
         assert status == 200
-        assert payload["protocol"] == {"version": "v1", "revision": 1}
+        assert payload["protocol"] == {
+            "version": "v1",
+            "revision": PROTOCOL_REVISION,
+        }
         assert payload["features"]["idempotent_feedback"] is True
         assert payload["features"]["streaming_ndjson"] is True
         assert payload["features"]["rate_limiting"] is False
+        assert payload["features"]["metrics_exposition"] is True
+        assert payload["features"]["tracing"] is True
         assert payload["limits"]["max_count"] == MAX_RESULT_COUNT
         assert payload["datasets"] == ["tiny"]
 
@@ -382,6 +388,115 @@ class TestV1AppBoundary:
         assert response.headers["X-Request-Id"] == "trace-429"
         assert response.payload["error"]["details"]["request_id"] == "trace-429"
         assert any(record.status == 429 for record in caplog.records)
+
+
+# ---------------------------------------------------------------------------
+# /v1/metrics exposition
+# ---------------------------------------------------------------------------
+class TestMetricsEndpoint:
+    def test_prometheus_text_is_the_default(self, app):
+        status, payload = app.handle("GET", "/v1/healthz")  # generate traffic
+        status, payload = app.handle("GET", "/v1/metrics")
+        assert status == 200
+        text = payload["text"]
+        assert "# TYPE seesaw_requests_total counter" in text
+        assert 'route="/v1/healthz"' in text
+        assert "seesaw_request_seconds_bucket" in text
+        assert "seesaw_active_sessions" in text
+
+    def test_format_json_selects_json_exposition(self, app):
+        app.handle("GET", "/v1/healthz")
+        status, payload = app.handle("GET", "/v1/metrics?format=json")
+        assert status == 200
+        names = {metric["name"] for metric in payload["metrics"]}
+        assert "seesaw_requests_total" in names
+        assert "seesaw_request_seconds" in names
+        histogram = next(
+            metric
+            for metric in payload["metrics"]
+            if metric["name"] == "seesaw_request_seconds"
+        )
+        for series in histogram["series"]:
+            assert {"labels", "count", "sum", "buckets", "p50", "p99", "p999"} <= set(
+                series
+            )
+
+    def test_accept_header_selects_json(self, app):
+        status, payload = app.handle(
+            "GET", "/v1/metrics", headers={"Accept": "application/json"}
+        )
+        assert status == 200
+        assert "metrics" in payload
+
+    def test_format_prometheus_forces_text_despite_accept(self, app):
+        status, payload = app.handle(
+            "GET",
+            "/v1/metrics?format=prometheus",
+            headers={"Accept": "application/json"},
+        )
+        assert status == 200
+        assert "text" in payload
+
+    def test_unknown_format_is_structured_400(self, app):
+        status, payload = app.handle("GET", "/v1/metrics?format=xml")
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_request"
+        assert "format" in payload["error"]["message"]
+
+    def test_session_traffic_populates_stage_spans(self, app):
+        status, payload = app.handle("POST", "/v1/sessions", start_body())
+        session_id = payload["session_id"]
+        app.handle("GET", f"/v1/sessions/{session_id}/next")
+        app.handle("DELETE", f"/v1/sessions/{session_id}")
+        _, payload = app.handle("GET", "/v1/metrics")
+        text = payload["text"]
+        assert 'seesaw_stage_seconds_bucket{stage="score"' in text
+        assert 'seesaw_stage_seconds_count{stage="select"}' in text
+        assert 'seesaw_stage_seconds_count{stage="lock_wait"}' in text
+
+
+# ---------------------------------------------------------------------------
+# rejection/handled record parity (one record shape for every outcome)
+# ---------------------------------------------------------------------------
+class TestRejectionRecordParity:
+    RECORD_FIELDS = ("request_id", "client", "status", "duration_ms", "route", "stage")
+
+    def test_429_record_matches_handled_record_shape(
+        self, tiny_dataset, tiny_clip, caplog
+    ):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        service = SeeSawService(
+            SeeSawConfig(
+                embedding_dim=64, seed=7, rate_limit_rps=1.0, rate_limit_burst=1
+            ),
+            registry=registry,
+        )
+        service.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+        limited = SeeSawApp(SessionManager(service))
+        with caplog.at_level(logging.INFO, logger="repro.server.access"):
+            limited.handle_request(Request("GET", "/v1/healthz", client="c"))
+            limited.handle_request(Request("GET", "/v1/healthz", client="c"))
+        handled, rejected = caplog.records
+        # Same complete field set on both paths — no partial records.
+        for record in (handled, rejected):
+            for field in self.RECORD_FIELDS:
+                assert hasattr(record, field), f"missing {field}"
+            assert record.route == "/v1/healthz"
+            assert record.client == "c"
+            assert record.request_id
+            assert record.duration_ms >= 0.0
+        assert (handled.status, handled.stage) == (200, "handler")
+        assert (rejected.status, rejected.stage) == (429, "middleware")
+        # Both outcomes counted in the registry, the rejection twice over.
+        requests = registry.get("seesaw_requests_total")
+        assert requests.labels("GET", "/v1/healthz", "200").value == 1.0
+        assert requests.labels("GET", "/v1/healthz", "429").value == 1.0
+        assert registry.get("seesaw_rejections_total").labels("429").value == 1.0
+        # The latency histogram saw both requests too.
+        latency = registry.get("seesaw_request_seconds")
+        assert latency.labels("/v1/healthz").count == 2
 
 
 # ---------------------------------------------------------------------------

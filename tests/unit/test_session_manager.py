@@ -10,6 +10,7 @@ import pytest
 
 from repro.config import SeeSawConfig
 from repro.core.indexing import SeeSawIndex
+from repro.obs import MetricsRegistry
 from repro.exceptions import (
     ServiceOverloadedError,
     SessionError,
@@ -38,7 +39,11 @@ class FakeClock:
 
 @pytest.fixture()
 def service(tiny_dataset, tiny_clip):
-    service = SeeSawService(SeeSawConfig(embedding_dim=64, seed=7))
+    # A private registry keeps the fused_* counter assertions exact even
+    # though other tests in this pytest process share the global registry.
+    service = SeeSawService(
+        SeeSawConfig(embedding_dim=64, seed=7), registry=MetricsRegistry()
+    )
     service.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
     return service
 
