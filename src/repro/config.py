@@ -221,6 +221,32 @@ class SeeSawConfig:
     keeps ``rerank_factor * k`` candidates for the exact re-rank.  At the
     default the re-ranked top-k is empirically identical to the exact
     store's top-k (recall@k = 1.0 on the contract-suite indexes)."""
+    ann_search: bool = False
+    """When true, exhaustive stores are replaced after load/build by a
+    :class:`~repro.vectorstore.graph.GraphANNVectorStore`: a navigable
+    proximity graph (the NN-descent kNN graph, symmetrised, with long-range
+    entry links) searched by greedy best-first descent with an ``ann_ef``
+    candidate beam, then exact compute-dtype re-ranking of the beam — per-
+    query cost scales with the beam and hop count, not with the corpus.
+    Like ``quantized_store`` this is a runtime tier derived from the flat
+    vectors at load time, so it is excluded from the index-cache key; when
+    both are requested the graph tier wins (it consumes the exhaustive
+    store first).  Trade-offs: results are approximate (recall@k >= 0.95
+    gated by the ``table6_ann_recall_latency`` benchmark at the default
+    knobs), and like the quantized tier a graph index opts out of fused
+    multi-session batching."""
+    ann_ef: int = 64
+    """Beam width of the graph-ANN descent: the candidate heap keeps the
+    best ``max(ann_ef, k)`` nodes and the walk stops when no frontier node
+    can improve them; the beam is then re-ranked exactly.  Larger values
+    trade latency for recall.  A runtime search knob — it changes no built
+    artifact, so it is excluded from the index-cache key."""
+    ann_graph_degree: int = 16
+    """Neighbours per node in the kNN graph the ANN tier symmetrises into
+    its adjacency.  Higher degrees make descent more robust (better recall
+    at a given ``ann_ef``) at more memory and build time.  Part of the
+    cache key only for indexes *built* as ``store_kind="graph"`` (the
+    adjacency is serialized); as a runtime tier it stays excluded."""
     rate_limit_rps: float = 0.0
     """Sustained per-client request budget (requests/second) enforced by the
     app layer's token-bucket middleware.  Clients are keyed by the
@@ -265,6 +291,12 @@ class SeeSawConfig:
             raise ConfigurationError(
                 f"quantized_rerank_factor must be >= 1, got "
                 f"{self.quantized_rerank_factor}"
+            )
+        if self.ann_ef < 1:
+            raise ConfigurationError(f"ann_ef must be >= 1, got {self.ann_ef}")
+        if self.ann_graph_degree < 2:
+            raise ConfigurationError(
+                f"ann_graph_degree must be >= 2, got {self.ann_graph_degree}"
             )
         if self.rate_limit_rps < 0:
             raise ConfigurationError(
@@ -324,6 +356,9 @@ class SeeSawConfig:
             "compute_dtype": self.compute_dtype,
             "quantized_store": self.quantized_store,
             "quantized_rerank_factor": self.quantized_rerank_factor,
+            "ann_search": self.ann_search,
+            "ann_ef": self.ann_ef,
+            "ann_graph_degree": self.ann_graph_degree,
             "rate_limit_rps": self.rate_limit_rps,
             "rate_limit_burst": self.rate_limit_burst,
             "mmap_index": self.mmap_index,

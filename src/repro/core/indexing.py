@@ -25,6 +25,7 @@ from repro.utils.linalg import ensure_dtype, resolve_compute_dtype
 from repro.vectorstore.base import VectorRecord, VectorStore
 from repro.vectorstore.exact import ExactVectorStore
 from repro.vectorstore.forest import RandomProjectionForest
+from repro.vectorstore.graph import GraphANNVectorStore
 from repro.vectorstore.quantized import QuantizedVectorStore
 
 
@@ -123,8 +124,9 @@ class SeeSawIndex:
             SeeSaw configuration; its ``multiscale`` section controls tiling.
         store_kind:
             ``"exact"`` for a brute-force store, ``"forest"`` for the
-            Annoy-style approximate store, or ``"quantized"`` for the int8
-            candidate tier with exact re-rank.
+            Annoy-style approximate store, ``"quantized"`` for the int8
+            candidate tier with exact re-rank, or ``"graph"`` for the
+            navigable kNN-graph ANN tier (greedy descent + exact re-rank).
         compute_db_alignment:
             Whether to precompute the DB-alignment matrix ``M_D``.
         build_graph:
@@ -169,6 +171,14 @@ class SeeSawIndex:
         elif store_kind == "quantized":
             store = QuantizedVectorStore(
                 matrix, records, rerank_factor=config.quantized_rerank_factor
+            )
+        elif store_kind == "graph":
+            store = GraphANNVectorStore(
+                matrix,
+                records,
+                graph_degree=config.ann_graph_degree,
+                ef=config.ann_ef,
+                seed=config.seed,
             )
         else:
             raise IndexingError(f"Unknown store kind '{store_kind}'")

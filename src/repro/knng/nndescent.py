@@ -27,17 +27,21 @@ def _top_k_merge(
     """Merge candidate neighbours into the current top-k list for one node."""
     merged_ids = np.concatenate([current_ids, candidate_ids])
     merged_sims = np.concatenate([current_sims, candidate_sims])
-    # Deduplicate, keeping the best similarity per neighbour id.
-    order = np.argsort(-merged_sims)
+    # Group duplicates by (id asc, sim desc): the first row of each id group
+    # is its best similarity, so one boolean diff deduplicates without the
+    # extra argsort + np.unique round-trip.
+    order = np.lexsort((-merged_sims, merged_ids))
     merged_ids = merged_ids[order]
     merged_sims = merged_sims[order]
-    _, first_positions = np.unique(merged_ids, return_index=True)
-    first_positions.sort()
-    merged_ids = merged_ids[first_positions]
-    merged_sims = merged_sims[first_positions]
-    order = np.argsort(-merged_sims)[:k]
-    new_ids = merged_ids[order]
-    new_sims = merged_sims[order]
+    first = np.ones(merged_ids.size, dtype=bool)
+    first[1:] = merged_ids[1:] != merged_ids[:-1]
+    merged_ids = merged_ids[first]
+    merged_sims = merged_sims[first]
+    # Top-k by similarity, ties broken by ascending id so the merge is
+    # deterministic regardless of candidate arrival order.
+    top = np.lexsort((merged_ids, -merged_sims))[:k]
+    new_ids = merged_ids[top]
+    new_sims = merged_sims[top]
     changed = not (
         new_ids.shape == current_ids.shape and np.array_equal(new_ids, current_ids)
     )
@@ -113,23 +117,24 @@ def nn_descent(
             if sample_rate < 1.0:
                 sample_size = max(1, int(round(sample_rate * forward.size)))
                 forward = rng.choice(forward, size=sample_size, replace=False)
-            candidate_pool: set[int] = set()
-            for neighbor in forward:
-                neighbor = int(neighbor)
-                candidate_pool.update(int(x) for x in neighbor_ids[neighbor])
-                candidate_pool.update(
-                    reverse_sources[
-                        reverse_offsets[neighbor] : reverse_offsets[neighbor + 1]
-                    ].tolist()
-                )
-            candidate_pool.update(
-                reverse_sources[reverse_offsets[node] : reverse_offsets[node + 1]].tolist()
+            # Local join, batched: forward neighbours' own lists come out of
+            # one fancy-indexed gather, reverse neighbours are contiguous CSR
+            # slices, and one np.unique replaces the per-element Python set.
+            # Current neighbours are *not* filtered out — the top-k merge
+            # deduplicates by id keeping the best similarity, so re-proposing
+            # them is harmless and cheaper than an isin() pass.
+            parts = [
+                neighbor_ids[forward].ravel(),
+                reverse_sources[reverse_offsets[node] : reverse_offsets[node + 1]],
+            ]
+            parts.extend(
+                reverse_sources[reverse_offsets[nb] : reverse_offsets[nb + 1]]
+                for nb in forward
             )
-            candidate_pool.discard(node)
-            candidate_pool.difference_update(int(x) for x in neighbor_ids[node])
-            if not candidate_pool:
+            pool = np.unique(np.concatenate(parts))
+            candidates = pool[pool != node]
+            if candidates.size == 0:
                 continue
-            candidates = np.fromiter(candidate_pool, dtype=np.int64, count=len(candidate_pool))
             sims = vectors[candidates] @ vectors[node]
             new_ids, new_sims, changed = _top_k_merge(
                 neighbor_ids[node], neighbor_sims[node], candidates, sims, k
@@ -159,9 +164,13 @@ def exact_knn(
     k = min(k, count - 1)
     neighbor_ids = np.empty((count, k), dtype=np.int64)
     neighbor_sims = np.empty((count, k), dtype=np.float64)
+    # One similarity buffer reused across chunks: `@` would allocate a fresh
+    # (chunk x count) product every iteration, doubling the scan's peak
+    # memory and churning the allocator on large corpora.
+    buffer = np.empty((min(chunk_size, count), count), dtype=np.float64)
     for start in range(0, count, chunk_size):
         stop = min(count, start + chunk_size)
-        sims = vectors[start:stop] @ vectors.T
+        sims = np.dot(vectors[start:stop], vectors.T, out=buffer[: stop - start])
         rows = np.arange(start, stop)
         sims[np.arange(stop - start), rows] = -np.inf  # exclude self-edges
         top = np.argpartition(-sims, k - 1, axis=1)[:, :k]

@@ -452,6 +452,7 @@ class SessionManager:
                 "legacy_routes": True,
                 "metrics_exposition": True,
                 "tracing": config.telemetry.enabled,
+                "graph_ann": config.ann_search,
             },
             "limits": {
                 "max_sessions": self.max_sessions,
@@ -467,6 +468,9 @@ class SessionManager:
                 "compute_dtype": config.compute_dtype,
                 "n_shards": config.n_shards,
                 "quantized_store": config.quantized_store,
+                "ann_search": config.ann_search,
+                "ann_ef": config.ann_ef,
+                "ann_graph_degree": config.ann_graph_degree,
                 "mmap_index": config.mmap_index,
                 "batch_window_ms": self.batch_window_ms,
             },
@@ -516,6 +520,7 @@ class SessionManager:
             # candidate tier is on, and whether cache loads memory-map.
             "compute_dtype": self.service.config.compute_dtype,
             "quantized_store": self.service.config.quantized_store,
+            "ann_search": self.service.config.ann_search,
             "mmap_index": self.service.config.mmap_index,
             "store_tiers": self.service.store_tiers,
             "batch_window_ms": self.batch_window_ms,

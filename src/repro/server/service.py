@@ -32,6 +32,7 @@ from repro.server.api import (
     StartSessionRequest,
 )
 from repro.store.cache import IndexCache
+from repro.vectorstore.graph import GraphANNVectorStore
 from repro.vectorstore.quantized import QuantizedVectorStore
 from repro.vectorstore.sharded import ShardedVectorStore
 
@@ -182,11 +183,27 @@ class SeeSawService:
     def _apply_store_tiers(self, index: SeeSawIndex) -> None:
         """Apply the configured runtime tiers to the index's store (idempotent).
 
-        Quantization first (the int8 tier wraps the flat exhaustive store,
-        adopting its vectors zero-copy), then sharding — a sharded quantized
-        store quantizes per shard, which per-row symmetric scales make
-        bit-identical to slicing the flat quantization.
+        Graph ANN first (it consumes the flat exhaustive store, adopting its
+        vectors zero-copy, and an ANN-tiered index is no longer exhaustive so
+        quantization naturally skips it), then quantization, then sharding —
+        a sharded graph store builds one navigable graph per shard, and a
+        sharded quantized store quantizes per shard, which per-row symmetric
+        scales make bit-identical to slicing the flat quantization.
         """
+        if (
+            self.config.ann_search
+            and index.store.exhaustive
+            and not isinstance(index.store, (GraphANNVectorStore, ShardedVectorStore))
+        ):
+            index.replace_store(
+                GraphANNVectorStore(
+                    index.store.vectors,
+                    list(index.store.records),
+                    graph_degree=self.config.ann_graph_degree,
+                    ef=self.config.ann_ef,
+                    seed=self.config.seed,
+                )
+            )
         if (
             self.config.quantized_store
             and index.store.exhaustive
@@ -225,8 +242,9 @@ class SeeSawService:
         """Storage/compute tier summary per in-memory index (``/healthz``).
 
         One entry per index: the scoring dtype, whether the int8 candidate
-        tier is active (and its re-rank factor), and the shard count — the
-        full tier stack a request to that dataset scores through.
+        tier is active (and its re-rank factor), whether the graph-ANN tier
+        is active (and its degree/``ef``), and the shard count — the full
+        tier stack a request to that dataset scores through.
         """
         tiers: "dict[str, dict[str, object]]" = {}
         for (dataset_name, multiscale), index in self._indexes.items():
@@ -236,10 +254,14 @@ class SeeSawService:
                 store.shard_example if isinstance(store, ShardedVectorStore) else store
             )
             quantized = isinstance(flat, QuantizedVectorStore)
+            graph = isinstance(flat, GraphANNVectorStore)
             tiers[label] = {
                 "compute_dtype": store.compute_dtype.name,
                 "quantized": quantized,
                 "rerank_factor": flat.rerank_factor if quantized else None,
+                "graph": graph,
+                "ann_graph_degree": flat.graph_degree if graph else None,
+                "ann_ef": flat.ef if graph else None,
                 "shards": (
                     store.n_shards if isinstance(store, ShardedVectorStore) else 1
                 ),

@@ -104,6 +104,12 @@ def index_cache_key(
         # kind — including the service's runtime quantized *tier* over an
         # exact entry — it stays a runtime knob.
         config_section["quantized_rerank_factor"] = config.quantized_rerank_factor
+    if store_kind == "graph":
+        # The graph kind serializes its adjacency, so the degree shapes the
+        # artifact.  ``ann_ef`` stays out: it is a pure search-time knob
+        # (the persisted default is advisory), and the runtime ANN *tier*
+        # over an exact entry keeps both knobs out of the key entirely.
+        config_section["ann_graph_degree"] = config.ann_graph_degree
     fingerprint = {
         "format": FORMAT_VERSION,
         "store_kind": store_kind,

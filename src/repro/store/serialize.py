@@ -43,15 +43,26 @@ from repro.utils.linalg import assert_no_copy
 from repro.vectorstore.base import VectorRecord, VectorStore
 from repro.vectorstore.exact import ExactVectorStore
 from repro.vectorstore.forest import RandomProjectionForest
+from repro.vectorstore.graph import GraphANNVectorStore
 from repro.vectorstore.quantized import QuantizedVectorStore
 from repro.vectorstore.sharded import ShardedVectorStore
 
 ARRAYS_FILE = "arrays.npz"
 META_FILE = "index.json"
 
-ARRAY_NAMES = ("vectors", "knn_neighbor_ids", "knn_neighbor_weights", "db_matrix")
+ARRAY_NAMES = (
+    "vectors",
+    "knn_neighbor_ids",
+    "knn_neighbor_weights",
+    "db_matrix",
+    "graph_offsets",
+    "graph_neighbors",
+    "graph_entries",
+)
 """The array artifacts an entry may hold, one ``<name>.npy`` file each in the
-raw layout (``vectors`` is always present, the rest are optional)."""
+raw layout (``vectors`` is always present, the rest are optional; the
+``graph_*`` adjacency triple is written only by ``store_kind="graph"``
+entries, and pre-graph entries without them load unchanged)."""
 
 
 def _flat_store(store: VectorStore) -> VectorStore:
@@ -71,6 +82,8 @@ def _store_kind(store: VectorStore) -> str:
     store = _flat_store(store)
     if isinstance(store, RandomProjectionForest):
         return "forest"
+    if isinstance(store, GraphANNVectorStore):
+        return "graph"
     if isinstance(store, QuantizedVectorStore):
         return "quantized"
     if isinstance(store, ExactVectorStore):
@@ -100,12 +113,24 @@ def save_index(
     target.parent.mkdir(parents=True, exist_ok=True)
     staging = Path(tempfile.mkdtemp(prefix=".staging-", dir=target.parent))
     try:
+        kind = _store_kind(index.store)
         arrays: dict[str, np.ndarray] = {"vectors": np.asarray(index.store.vectors)}
         if index.knn_graph is not None:
             arrays["knn_neighbor_ids"] = index.knn_graph.neighbor_ids
             arrays["knn_neighbor_weights"] = index.knn_graph.neighbor_weights
         if index.db_matrix is not None:
             arrays["db_matrix"] = index.db_matrix
+        if kind == "graph" and not isinstance(index.store, ShardedVectorStore):
+            # The flat adjacency is the expensive build output, persisted so
+            # a cold start memory-maps it like the vectors.  A *sharded*
+            # graph store only holds shard-local adjacencies (wrong id
+            # space for the flat artifact), so those entries persist the
+            # parameters alone and the loader rebuilds the flat graph.
+            store = index.store
+            assert isinstance(store, GraphANNVectorStore)
+            arrays["graph_offsets"] = np.asarray(store.graph_offsets)
+            arrays["graph_neighbors"] = np.asarray(store.graph_neighbors)
+            arrays["graph_entries"] = np.asarray(store.graph_entries)
         if arrays_format == "npy":
             for name, array in arrays.items():
                 np.save(staging / f"{name}.npy", array, allow_pickle=False)
@@ -113,7 +138,6 @@ def save_index(
             np.savez_compressed(staging / ARRAYS_FILE, **arrays)
 
         report = index.build_report
-        kind = _store_kind(index.store)
         meta: dict[str, object] = {
             "format_version": FORMAT_VERSION,
             "arrays_format": arrays_format,
@@ -163,6 +187,14 @@ def save_index(
             # Only the knob is persisted: the int8 codes are derived from
             # the float vectors deterministically and cheaply at load time.
             meta["quantized"] = {"rerank_factor": store.rerank_factor}
+        elif kind == "graph":
+            store = _flat_store(index.store)
+            assert isinstance(store, GraphANNVectorStore)
+            meta["graph"] = {
+                "graph_degree": store.graph_degree,
+                "ef": store.ef,
+                "seed": store.seed,
+            }
         (staging / META_FILE).write_text(
             json.dumps(meta, sort_keys=True), encoding="utf-8"
         )
@@ -293,6 +325,37 @@ def load_index(
             records,
             rerank_factor=int(quantized_meta.get("rerank_factor", 4)),
         )
+    elif kind == "graph":
+        graph_meta = meta.get("graph", {})
+        adjacency = None
+        if (
+            "graph_offsets" in arrays
+            and "graph_neighbors" in arrays
+            and "graph_entries" in arrays
+        ):
+            # The persisted adjacency is adopted as-is (memory-mapped in the
+            # raw layout) instead of being rebuilt; entries written from a
+            # sharded graph store carry no flat adjacency and rebuild here.
+            adjacency = (
+                arrays["graph_offsets"],
+                arrays["graph_neighbors"],
+                arrays["graph_entries"],
+            )
+        store = GraphANNVectorStore(
+            vectors,
+            records,
+            graph_degree=int(graph_meta.get("graph_degree", 16)),
+            ef=int(graph_meta.get("ef", 64)),
+            seed=int(graph_meta.get("seed", config.seed)),
+            adjacency=adjacency,
+        )
+        if adjacency is not None and mmap and isinstance(adjacency[1], np.memmap):
+            try:
+                assert_no_copy(adjacency[1], store.graph_neighbors)
+            except AssertionError as exc:
+                raise StoreError(
+                    f"Index at '{source}' failed zero-copy adjacency adoption: {exc}"
+                ) from exc
     elif kind == "forest":
         forest_meta = meta.get("forest", {})
         store = RandomProjectionForest(

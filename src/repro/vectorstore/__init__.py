@@ -3,7 +3,9 @@
 The paper uses Annoy, an approximate index.  This package provides an exact
 scan store, :class:`RandomProjectionForest` (an Annoy-style forest of
 random-hyperplane trees), :class:`QuantizedVectorStore` (int8 candidate
-scoring with exact re-rank), and :class:`ShardedVectorStore` (image-aligned
+scoring with exact re-rank), :class:`GraphANNVectorStore` (navigable
+kNN-graph greedy descent with exact re-rank — the sublinear candidate
+tier), and :class:`ShardedVectorStore` (image-aligned
 partitions of any of them, scored in parallel), behind one
 :class:`VectorStore` interface.  Every store runs its scoring in a
 configurable compute dtype (float64 bit-parity default, float32 fast tier).  Vectors carry :class:`VectorRecord` metadata (image id, patch
@@ -13,6 +15,7 @@ box, scale level) so the multiscale index can map patch hits back to images.
 from repro.vectorstore.base import VectorRecord, VectorStore
 from repro.vectorstore.exact import ExactVectorStore
 from repro.vectorstore.forest import RandomProjectionForest
+from repro.vectorstore.graph import GraphANNVectorStore
 from repro.vectorstore.quantized import QuantizedVectorStore
 from repro.vectorstore.sharded import ShardedVectorStore
 
@@ -20,6 +23,7 @@ __all__ = [
     "VectorRecord",
     "VectorStore",
     "ExactVectorStore",
+    "GraphANNVectorStore",
     "QuantizedVectorStore",
     "RandomProjectionForest",
     "ShardedVectorStore",

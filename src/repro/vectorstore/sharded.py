@@ -37,6 +37,7 @@ from repro.obs import trace_span
 from repro.vectorstore.base import VectorRecord, VectorStore, deterministic_top_k
 from repro.vectorstore.exact import ExactVectorStore
 from repro.vectorstore.forest import RandomProjectionForest
+from repro.vectorstore.graph import GraphANNVectorStore
 from repro.vectorstore.quantized import QuantizedVectorStore
 
 StoreFactory = Callable[[np.ndarray, "list[VectorRecord]"], VectorStore]
@@ -145,6 +146,21 @@ class ShardedVectorStore(VectorStore):
                     tree_count=forest.tree_count,
                     leaf_size=forest.leaf_size,
                     seed=forest.seed,
+                )
+
+        elif isinstance(template, GraphANNVectorStore):
+            graph = template
+
+            def factory(vectors: np.ndarray, records: "list[VectorRecord]") -> VectorStore:
+                # Each shard builds its own navigable graph over its slice;
+                # descent then runs per shard and the wrapper's deterministic
+                # merge selects across the shard-local candidate sets.
+                return GraphANNVectorStore(
+                    vectors,
+                    records,
+                    graph_degree=graph.graph_degree,
+                    ef=graph.ef,
+                    seed=graph.seed,
                 )
 
         elif isinstance(template, QuantizedVectorStore):

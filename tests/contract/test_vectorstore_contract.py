@@ -1,9 +1,9 @@
 """Cross-backend contract suite: every VectorStore obeys the same invariants.
 
 One parametrized suite, run against the exact store, the random-projection
-forest, the int8-quantized re-ranking store, and the sharded wrapper around
-each — with the exact and quantized backends additionally run in the
-float32 compute tier.  A new backend (or tier) earns the whole suite by
+forest, the int8-quantized re-ranking store, the navigable-graph ANN store,
+and the sharded wrapper around each — with the exact, quantized, and graph
+backends additionally run in the float32 compute tier.  A new backend (or tier) earns the whole suite by
 adding one line to ``BACKENDS`` — the invariants below are the interface
 the query engine (and everything above it) is written against:
 
@@ -29,6 +29,7 @@ from repro.data.geometry import BoundingBox
 from repro.exceptions import VectorStoreError
 from repro.vectorstore import (
     ExactVectorStore,
+    GraphANNVectorStore,
     QuantizedVectorStore,
     RandomProjectionForest,
     ShardedVectorStore,
@@ -82,6 +83,13 @@ BACKENDS = {
     ),
     "sharded-quantized": lambda v, r: ShardedVectorStore.wrap(
         QuantizedVectorStore(v, r), 3
+    ),
+    "graph": lambda v, r: GraphANNVectorStore(v, r, graph_degree=8, ef=32, seed=3),
+    "graph-f32": lambda v, r: GraphANNVectorStore(
+        v, r, graph_degree=8, ef=32, seed=3, compute_dtype="float32"
+    ),
+    "sharded-graph": lambda v, r: ShardedVectorStore.wrap(
+        GraphANNVectorStore(v, r, graph_degree=8, ef=32, seed=3), 3
     ),
 }
 

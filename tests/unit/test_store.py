@@ -593,3 +593,143 @@ class TestReviewRegressions:
         cache._steal_stale_lock(key)
         other = IndexCache(tmp_path / "cache")
         assert other._try_acquire_build_lock(key) is not None
+
+
+class TestGraphStoreSerialization:
+    """The graph kind on disk: adjacency artifacts, back-compat, rebuild."""
+
+    @pytest.fixture(scope="class")
+    def graph_index(self, tiny_dataset, tiny_clip):
+        from repro.core.indexing import SeeSawIndex
+
+        config = SeeSawConfig(
+            embedding_dim=64, seed=7, ann_search=True, ann_ef=48, ann_graph_degree=8
+        )
+        return SeeSawIndex.build(tiny_dataset, tiny_clip, config, store_kind="graph")
+
+    def test_adjacency_persisted_and_mmap_adopted(
+        self, graph_index, tiny_dataset, tiny_clip, tmp_path_factory
+    ):
+        from repro.vectorstore import GraphANNVectorStore
+
+        directory = tmp_path_factory.mktemp("graph") / "entry"
+        save_index(graph_index, directory)
+        for name in ("graph_offsets", "graph_neighbors", "graph_entries"):
+            assert (directory / f"{name}.npy").exists()
+        loaded = load_index(directory, tiny_dataset, tiny_clip, mmap=True)
+        store = loaded.store
+        assert isinstance(store, GraphANNVectorStore)
+        assert store.graph_degree == 8 and store.ef == 48 and store.seed == 7
+        # The adjacency was adopted from the mapping, not rebuilt: the
+        # neighbor array's base chain bottoms out at the memmap.
+        base = store.graph_neighbors
+        while isinstance(base.base, np.ndarray):
+            base = base.base
+        assert isinstance(base, np.memmap)
+        # Same descent, same answers as the in-memory build.
+        query = graph_index.embed_query("anything")
+        built_ids, built_scores = graph_index.store.search_arrays(query, 5)
+        loaded_ids, loaded_scores = store.search_arrays(query, 5)
+        assert np.array_equal(built_ids, loaded_ids)
+        np.testing.assert_allclose(built_scores, loaded_scores, rtol=0, atol=1e-12)
+
+    def test_graph_entry_without_adjacency_rebuilds(
+        self, graph_index, tiny_dataset, tiny_clip, tmp_path
+    ):
+        """Entries persisting parameters alone (e.g. written from a sharded
+        graph store) rebuild the flat graph deterministically at load."""
+        from repro.vectorstore import GraphANNVectorStore
+
+        directory = tmp_path / "entry"
+        save_index(graph_index, directory)
+        for name in ("graph_offsets", "graph_neighbors", "graph_entries"):
+            (directory / f"{name}.npy").unlink()
+        loaded = load_index(directory, tiny_dataset, tiny_clip)
+        store = loaded.store
+        assert isinstance(store, GraphANNVectorStore)
+        assert store.graph_degree == 8 and store.ef == 48
+        query = graph_index.embed_query("anything")
+        built_ids, _ = graph_index.store.search_arrays(query, 5)
+        rebuilt_ids, _ = store.search_arrays(query, 5)
+        assert np.array_equal(built_ids, rebuilt_ids)
+
+    def test_sharded_graph_serializes_params_only(
+        self, graph_index, tiny_dataset, tiny_clip, tmp_path
+    ):
+        from repro.core.indexing import SeeSawIndex
+        from repro.vectorstore import GraphANNVectorStore, ShardedVectorStore
+
+        sharded = SeeSawIndex(
+            dataset=tiny_dataset,
+            embedding=tiny_clip,
+            store=ShardedVectorStore.wrap(graph_index.store, 3),
+            image_vector_ids={
+                image_id: graph_index.vector_ids_for_image(image_id)
+                for image_id in graph_index.image_ids
+            },
+            knn_graph=graph_index.knn_graph,
+            db_matrix=graph_index.db_matrix,
+            config=graph_index.config,
+            build_report=graph_index.build_report,
+        )
+        directory = tmp_path / "sharded-graph"
+        save_index(sharded, directory)
+        # No shard-local adjacency leaks into the flat artifact...
+        assert not (directory / "graph_neighbors.npy").exists()
+        # ...and the entry loads back as a flat graph store with the same
+        # parameters (the service re-applies its shard topology).
+        loaded = load_index(directory, tiny_dataset, tiny_clip)
+        assert isinstance(loaded.store, GraphANNVectorStore)
+        assert loaded.store.graph_degree == 8
+
+    def test_pre_graph_entries_still_load(
+        self, tiny_index, tiny_dataset, tiny_clip, tmp_path
+    ):
+        """Exact-kind artifacts (npy and npz, no graph_* arrays) are untouched
+        by the graph tier's serialization additions."""
+        for layout in ("npy", "npz"):
+            directory = tmp_path / f"pre-graph-{layout}"
+            save_index(tiny_index, directory, arrays_format=layout)
+            assert not (directory / "graph_neighbors.npy").exists()
+            loaded = load_index(directory, tiny_dataset, tiny_clip)
+            assert np.array_equal(
+                np.asarray(loaded.store.vectors), np.asarray(tiny_index.store.vectors)
+            )
+
+    def test_graph_key_includes_degree_but_not_ef(self, tiny_dataset, tiny_clip):
+        base = SeeSawConfig(embedding_dim=64, seed=7)
+        degree = base.with_overrides(ann_graph_degree=32)
+        ef = base.with_overrides(ann_ef=256)
+        assert index_cache_key(
+            tiny_dataset, tiny_clip, base, store_kind="graph"
+        ) != index_cache_key(tiny_dataset, tiny_clip, degree, store_kind="graph")
+        assert index_cache_key(
+            tiny_dataset, tiny_clip, base, store_kind="graph"
+        ) == index_cache_key(tiny_dataset, tiny_clip, ef, store_kind="graph")
+        # For every other kind the degree is a runtime knob, out of the key.
+        assert index_cache_key(tiny_dataset, tiny_clip, base) == index_cache_key(
+            tiny_dataset, tiny_clip, degree
+        )
+
+    def test_service_applies_ann_tier_and_reports_it(
+        self, tiny_dataset, tiny_clip, tmp_path
+    ):
+        from repro.server import SeeSawService
+        from repro.vectorstore import GraphANNVectorStore
+
+        config = SeeSawConfig(
+            embedding_dim=64,
+            seed=7,
+            index_cache_dir=str(tmp_path / "cache"),
+            ann_search=True,
+            ann_ef=48,
+            ann_graph_degree=8,
+        )
+        service = SeeSawService(config)
+        service.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
+        store = service.index_for("tiny").store
+        assert isinstance(store, GraphANNVectorStore)
+        tier = service.store_tiers["tiny"]
+        assert tier["graph"] is True
+        assert tier["ann_graph_degree"] == 8
+        assert tier["ann_ef"] == 48
