@@ -1,0 +1,69 @@
+"""Open-loop traffic scoreboard: steady + burst scenarios over real HTTP.
+
+These are the two CI-gated rows of the scenario pack (the remaining shapes
+run in the integration smoke suite).  Each run fires a Poisson arrival
+schedule at a live socket server, writes its JSONL artifact under
+``benchmarks/results/`` — the scoreboard the async-serving and
+scatter-gather roadmap items will diff their tails against — and asserts
+the scenario's tail gates: p99/p999 latency and the achieved/offered
+throughput floor, never means.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.scenarios import TrafficScenario, get_scenario
+from repro.bench.traffic import TrafficSummary, assert_tail_gates, run_and_report
+from repro.server import HTTPClient
+
+
+def _bench_scenario(name: str) -> TrafficScenario:
+    scenario = get_scenario(name)
+    if os.environ.get("REPRO_FULL_BENCH", "") not in ("", "0", "false", "False"):
+        return scenario
+    return scenario.scaled(duration_seconds=2.0, rate_rps=20.0, session_count=6)
+
+
+def _format(summary: TrafficSummary) -> str:
+    lines = [
+        f"traffic scenario '{summary.scenario}' over {summary.transport}",
+        f"  arrivals            {summary.arrivals} in {summary.duration_seconds:.2f}s "
+        f"(offered {summary.offered_rps:.1f} rps)",
+        f"  achieved            {summary.achieved_rps:.1f} rps "
+        f"(ratio {summary.achieved_ratio:.2f})",
+        f"  requests            {summary.requests} "
+        f"({summary.ok_requests} ok / {summary.failed_requests} failed)",
+        f"  latency (open-loop) p50 {summary.p50_ms:.1f}ms  "
+        f"p99 {summary.p99_ms:.1f}ms  p999 {summary.p999_ms:.1f}ms  "
+        f"max {summary.max_ms:.1f}ms",
+        f"  error taxonomy      {dict(summary.error_taxonomy) or '{}'}",
+    ]
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("name", ["steady", "burst"])
+def test_traffic_scenario_gates(
+    benchmark, name, traffic_server, traffic_queries, results_dir, save_report
+):
+    scenario = _bench_scenario(name)
+    client = HTTPClient(traffic_server.url, client_id=f"bench-traffic-{name}")
+    summary = benchmark.pedantic(
+        lambda: run_and_report(
+            client,
+            scenario,
+            dataset="bdd",
+            queries=traffic_queries,
+            results_dir=results_dir,
+            transport="http",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(f"traffic_{name}", _format(summary))
+    # The taxonomy must be exactly what the scenario declares (for these
+    # two shapes: empty), and the tails must clear the scenario's gates.
+    assert summary.unexpected_errors == 0, summary.error_taxonomy
+    assert_tail_gates(summary, scenario.gates)

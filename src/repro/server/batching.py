@@ -4,8 +4,9 @@ The HTTP transport gives every in-flight request its own thread.  Without
 coalescing, N concurrent next-batch requests run N sequential engine rounds
 (each serialized on its own session lock but each paying a full kernel
 dispatch).  The :class:`NextBatchCoalescer` turns that thundering herd into
-cohorts: the first arriving request becomes the *leader*, sleeps for the
-configured window while followers enqueue behind it, then dispatches the
+cohorts: the first arriving request becomes the *leader*, waits out the
+configured window (waking early the moment the cohort is already full)
+while followers enqueue behind it, then dispatches the
 whole cohort through one call (``SessionManager._dispatch_batch`` → fused
 :class:`~repro.engine.batch.BatchQueryEngine` scoring) and hands each waiter
 its own result — or its own error, so a 404 for one session never fails the
@@ -23,7 +24,7 @@ import threading
 import time
 from typing import Callable, Sequence
 
-from repro.exceptions import ServiceOverloadedError
+from repro.exceptions import InternalServiceError, ServiceOverloadedError
 from repro.obs import (
     DEFAULT_SIZE_BUCKETS,
     MetricsRegistry,
@@ -75,6 +76,10 @@ class NextBatchCoalescer:
         self._lock = threading.Lock()
         self._queue: "list[_PendingRequest]" = []
         self._leader_active = False
+        # Set the moment the queue holds a full cohort, so the leader can
+        # dispatch immediately instead of sleeping out the rest of its
+        # window for fusion that cannot get any better.
+        self._cohort_full = threading.Event()
         # Window accounting lives in the obs registry: counters for batches
         # and coalesced requests, a size histogram, and a high-water gauge.
         # /healthz reads them back through stats() (deprecation shim).
@@ -96,6 +101,10 @@ class NextBatchCoalescer:
             "seesaw_coalescer_largest_batch",
             "High-water cohort size since process start.",
         )
+        self._dispatch_mismatches = self.metrics.counter(
+            "seesaw_coalescer_dispatch_mismatch_total",
+            "Cohorts whose dispatch returned a mismatched outcome count.",
+        )
 
     # ------------------------------------------------------------------
     # the one public entry point
@@ -106,8 +115,9 @@ class NextBatchCoalescer:
         Returns the request's own result, or raises its own exception —
         per-request failures never propagate to other cohort members.
 
-        Leadership is one cohort at a time: the leader sleeps out the
-        window, dispatches the first ``max_batch_size`` queued entries, and
+        Leadership is one cohort at a time: the leader waits out the
+        window (or less, once the cohort is full), dispatches the first
+        ``max_batch_size`` queued entries, and
         hands leadership to the oldest remaining waiter (promotion) instead
         of looping — so under sustained traffic no thread's own response is
         withheld while it services other people's cohorts.
@@ -115,6 +125,8 @@ class NextBatchCoalescer:
         entry = _PendingRequest(session_id, count)
         with self._lock:
             self._queue.append(entry)
+            if len(self._queue) >= self.max_batch_size:
+                self._cohort_full.set()
             is_leader = not self._leader_active
             if is_leader:
                 self._leader_active = True
@@ -182,12 +194,21 @@ class NextBatchCoalescer:
     # leader protocol
     # ------------------------------------------------------------------
     def _lead_one_cohort(self) -> None:
-        """Sleep out the window, dispatch one cohort, hand off leadership."""
+        """Wait out the window (or a full cohort), dispatch, hand off.
+
+        The window is a *maximum*: once the queue already holds
+        ``max_batch_size`` entries, more waiting cannot improve fusion, so
+        the full-cohort event wakes the leader early instead of adding the
+        rest of the window to every waiter's latency (the burst-arrival
+        p99 regression the open-loop harness flushed out).
+        """
         if self.window_seconds > 0:
-            time.sleep(self.window_seconds)
+            self._cohort_full.wait(timeout=self.window_seconds)
         with self._lock:
             cohort = self._queue[: self.max_batch_size]
             del self._queue[: self.max_batch_size]
+            if len(self._queue) < self.max_batch_size:
+                self._cohort_full.clear()
         if cohort:
             self._run_cohort(cohort)
         with self._lock:
@@ -203,9 +224,21 @@ class NextBatchCoalescer:
     def _run_cohort(self, cohort: "list[_PendingRequest]") -> None:
         entries = [(pending.session_id, pending.count) for pending in cohort]
         try:
-            outcomes: "Sequence[object]" = self._dispatch(entries)
+            outcomes: "list[object]" = list(self._dispatch(entries))
         except BaseException as exc:  # defensive: fail waiters, don't strand them
             outcomes = [exc] * len(cohort)
+        if len(outcomes) != len(cohort):
+            # A dispatch that mispairs outcomes with entries must not strand
+            # the tail waiters on their events (they would hang until the
+            # wait timeout).  Trust the positional prefix, fail the rest
+            # with a typed internal error, and drop any surplus.
+            self._dispatch_mismatches.inc()
+            error = InternalServiceError(
+                f"Batch dispatch returned {len(outcomes)} outcomes for a "
+                f"cohort of {len(cohort)} requests"
+            )
+            del outcomes[len(cohort):]
+            outcomes.extend([error] * (len(cohort) - len(outcomes)))
         self._batches.inc()
         self._requests.inc(len(cohort))
         self._batch_size.observe(len(cohort))

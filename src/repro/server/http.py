@@ -66,10 +66,25 @@ class SeeSawRequestHandler(BaseHTTPRequestHandler):
         if response.stream is not None:
             self.send_header("Transfer-Encoding", "chunked")
             self.end_headers()
-            for record in response.stream:
-                self._write_chunk(json.dumps(record).encode("utf-8") + b"\n")
-            self.wfile.write(b"0\r\n\r\n")
-            self.wfile.flush()
+            # Once the 200 + chunked header are on the wire the response
+            # cannot be rewritten.  If the producer raises (or the client
+            # disconnects) mid-stream the body is truncated without its
+            # terminal chunk, and the connection MUST NOT be reused: the
+            # next keep-alive request on this socket would be parsed
+            # against the half-written chunked body.  Clients detect the
+            # truncation through the missing terminal NDJSON 'end' record.
+            try:
+                for record in response.stream:
+                    self._write_chunk(json.dumps(record).encode("utf-8") + b"\n")
+                self.wfile.write(b"0\r\n\r\n")
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                # The client went away mid-stream; nothing left to tell it,
+                # and a stack trace per closed browser tab is just noise.
+                self.close_connection = True
+            except Exception as exc:
+                self.close_connection = True
+                self.log_error("aborted NDJSON stream for %s: %r", self.path, exc)
             return
         if response.text is not None:
             encoded = response.text.encode("utf-8")

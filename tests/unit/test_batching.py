@@ -3,10 +3,15 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
-from repro.exceptions import ServiceOverloadedError, UnknownResourceError
+from repro.exceptions import (
+    InternalServiceError,
+    ServiceOverloadedError,
+    UnknownResourceError,
+)
 from repro.obs import MetricsRegistry
 from repro.server.batching import NextBatchCoalescer
 
@@ -118,6 +123,103 @@ class TestCoalescer:
             NextBatchCoalescer(lambda entries: [], window_seconds=-1.0)
         with pytest.raises(ValueError):
             NextBatchCoalescer(lambda entries: [], window_seconds=0.0, max_batch_size=0)
+
+    def test_short_outcome_list_fails_tail_waiters_instead_of_stranding(self):
+        """Regression: a dispatch returning fewer outcomes than entries used
+        to leave the tail waiters' events unset, hanging them for the full
+        wait timeout.  They must fail fast with a typed internal error."""
+
+        def short_dispatch(entries):
+            return ["result:first"]  # one outcome for the whole cohort
+
+        coalescer = NextBatchCoalescer(
+            short_dispatch,
+            window_seconds=0.05,
+            wait_timeout_seconds=5.0,
+            registry=MetricsRegistry(),
+        )
+        barrier = threading.Barrier(2, timeout=10.0)
+        outcomes: "dict[str, object]" = {}
+
+        def run(session_id: str) -> None:
+            barrier.wait()
+            try:
+                outcomes[session_id] = coalescer.submit(session_id)
+            except Exception as exc:
+                outcomes[session_id] = exc
+
+        threads = [
+            threading.Thread(target=run, args=(name,)) for name in ("s-a", "s-b")
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        elapsed = time.perf_counter() - started
+        assert not any(thread.is_alive() for thread in threads), "stranded waiter"
+        # Positional prefix is trusted, the unmatched tail gets the typed error.
+        values = list(outcomes.values())
+        assert "result:first" in values
+        internal = [value for value in values if isinstance(value, InternalServiceError)]
+        assert len(internal) == 1
+        assert "1 outcomes for a cohort of 2" in str(internal[0])
+        # The tail waiter failed promptly, not after the 5s wait timeout.
+        assert elapsed < 3.0
+        assert int(coalescer._dispatch_mismatches.value) == 1
+
+    def test_surplus_outcomes_are_dropped_not_misassigned(self):
+        def long_dispatch(entries):
+            return [f"result:{sid}" for sid, _ in entries] + ["surplus"]
+
+        coalescer = NextBatchCoalescer(long_dispatch, window_seconds=0.0)
+        assert coalescer.submit("session-1") == "result:session-1"
+
+    def test_full_cohort_wakes_leader_before_window_expires(self):
+        """Regression: the leader used to sleep the entire window even when
+        the queue already held max_batch_size entries, adding the full
+        window to p99 under bursts for no extra fusion."""
+        window = 2.0
+        dispatch = RecordingDispatch()
+        coalescer = NextBatchCoalescer(
+            dispatch, window_seconds=window, max_batch_size=4
+        )
+        barrier = threading.Barrier(4, timeout=10.0)
+        done: "list[object]" = []
+        lock = threading.Lock()
+
+        def run(session_id: str) -> None:
+            barrier.wait()
+            result = coalescer.submit(session_id)
+            with lock:
+                done.append(result)
+
+        threads = [
+            threading.Thread(target=run, args=(f"session-{i}",)) for i in range(4)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        elapsed = time.perf_counter() - started
+        assert len(done) == 4
+        # Well under the 2s window: the full-cohort event fired early.
+        assert elapsed < window / 2, f"leader slept the window: {elapsed:.2f}s"
+        assert any(len(cohort) == 4 for cohort in dispatch.cohorts)
+
+    def test_partial_cohort_still_waits_out_the_window(self):
+        """The early wake must not fire for partial cohorts: a lone request
+        still pays the window so followers can coalesce behind it."""
+        window = 0.2
+        dispatch = RecordingDispatch()
+        coalescer = NextBatchCoalescer(
+            dispatch, window_seconds=window, max_batch_size=64
+        )
+        started = time.perf_counter()
+        assert coalescer.submit("session-1") == "result:session-1"
+        elapsed = time.perf_counter() - started
+        assert elapsed >= window * 0.75, f"window skipped for partial cohort: {elapsed:.3f}s"
 
     def test_wedged_dispatch_times_out_followers(self):
         """A follower gives up with 503 instead of blocking forever."""

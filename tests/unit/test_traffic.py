@@ -1,0 +1,273 @@
+"""Unit tests for the open-loop traffic harness (schedules, configs, gates)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.scenarios import (
+    SCENARIO_PACK,
+    BurstProfile,
+    OpMix,
+    TailGates,
+    TrafficScenario,
+    get_scenario,
+    scenario_names,
+)
+from repro.bench.traffic import (
+    RequestRecord,
+    TrafficRun,
+    assert_tail_gates,
+    gate_violations,
+    poisson_schedule,
+    read_run_jsonl,
+    scenario_schedule,
+    summarize,
+    write_run_jsonl,
+)
+from repro.exceptions import BenchmarkError
+
+
+class TestSchedules:
+    def test_poisson_rate_correctness(self):
+        """Arrival count matches rate x duration within a few sigma."""
+        rate, duration = 200.0, 5.0
+        arrivals = poisson_schedule(rate, duration, np.random.default_rng(0))
+        expected = rate * duration
+        assert 0.85 * expected <= len(arrivals) <= 1.15 * expected
+        assert all(0.0 < t < duration for t in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_poisson_determinism_under_seed(self):
+        first = poisson_schedule(50.0, 3.0, np.random.default_rng(42))
+        second = poisson_schedule(50.0, 3.0, np.random.default_rng(42))
+        assert first == second
+        different = poisson_schedule(50.0, 3.0, np.random.default_rng(43))
+        assert first != different
+
+    def test_poisson_rejects_bad_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(BenchmarkError):
+            poisson_schedule(0.0, 1.0, rng)
+        with pytest.raises(BenchmarkError):
+            poisson_schedule(10.0, 0.0, rng)
+
+    def test_burst_schedule_concentrates_arrivals_in_burst_windows(self):
+        scenario = TrafficScenario(
+            name="t-burst",
+            description="test",
+            duration_seconds=20.0,
+            rate_rps=40.0,
+            burst=BurstProfile(factor=5.0, period_seconds=1.0, duty=0.2),
+            seed=7,
+        )
+        arrivals = scenario_schedule(scenario)
+        in_burst = sum(1 for t in arrivals if (t % 1.0) < 0.2)
+        off_burst = len(arrivals) - in_burst
+        # Burst windows are 20% of wall time at 5x rate: they should hold
+        # about half of all arrivals; without the burst they would hold ~20%.
+        assert in_burst / len(arrivals) > 0.35
+        # Per-second arrival density inside bursts dominates outside.
+        burst_density = in_burst / (20.0 * 0.2)
+        off_density = off_burst / (20.0 * 0.8)
+        assert burst_density > 2.5 * off_density
+
+    def test_scenario_schedule_is_deterministic(self):
+        scenario = get_scenario("burst").scaled(duration_seconds=3.0)
+        assert scenario_schedule(scenario) == scenario_schedule(scenario)
+
+
+class TestScenarioConfigs:
+    def test_pack_covers_the_named_load_shapes(self):
+        names = scenario_names()
+        assert len(names) >= 6
+        for required in (
+            "steady",
+            "burst",
+            "session_churn",
+            "mixed_ratio",
+            "slow_drip",
+            "feedback_replay",
+            "rate_limit_storm",
+        ):
+            assert required in names
+
+    @pytest.mark.parametrize("scenario", SCENARIO_PACK, ids=lambda s: s.name)
+    def test_json_round_trip(self, scenario):
+        payload = json.loads(json.dumps(scenario.to_json()))
+        assert TrafficScenario.from_json(payload) == scenario
+
+    def test_scaled_preserves_everything_else(self):
+        steady = get_scenario("steady")
+        small = steady.scaled(duration_seconds=1.0, rate_rps=10.0, session_count=2)
+        assert small.duration_seconds == 1.0
+        assert small.rate_rps == 10.0
+        assert small.session_count == 2
+        assert small.mix == steady.mix
+        assert small.gates == steady.gates
+
+    def test_unknown_scenario_name(self):
+        with pytest.raises(BenchmarkError, match="Unknown traffic scenario"):
+            get_scenario("nope")
+
+    def test_validation_rejects_bad_configs(self):
+        with pytest.raises(BenchmarkError):
+            OpMix(next_results=0.0)
+        with pytest.raises(BenchmarkError):
+            OpMix(next_results=-1.0)
+        with pytest.raises(BenchmarkError):
+            BurstProfile(factor=0.5)
+        with pytest.raises(BenchmarkError):
+            BurstProfile(duty=1.5)
+        with pytest.raises(BenchmarkError):
+            TailGates(p99_ms=0.0)
+        with pytest.raises(BenchmarkError):
+            TailGates(p99_ms=100.0, p999_ms=50.0)
+        with pytest.raises(BenchmarkError):
+            TrafficScenario(name="x", description="x", rate_rps=0.0)
+
+    def test_mix_weights_skip_zero_entries(self):
+        mix = OpMix(next_results=0.5, stream=0.5)
+        assert mix.weights() == (("next", 0.5), ("stream", 0.5))
+
+
+def _record(
+    index: int,
+    latency_s: float,
+    ok: bool = True,
+    error: "str | None" = None,
+    primary: bool = True,
+    op: str = "next",
+) -> RequestRecord:
+    return RequestRecord(
+        op=op,
+        interaction=op,
+        index=index,
+        scheduled_at=0.0,
+        started_at=0.0,
+        completed_at=latency_s,
+        ok=ok,
+        primary=primary,
+        error=error,
+    )
+
+
+def _run_with(records, scenario=None, arrivals=None, elapsed=1.0) -> TrafficRun:
+    scenario = scenario or get_scenario("steady").scaled(duration_seconds=1.0)
+    primaries = sum(1 for r in records if r.primary)
+    return TrafficRun(
+        scenario=scenario,
+        transport="test",
+        arrivals=arrivals if arrivals is not None else primaries,
+        elapsed_seconds=elapsed,
+        records=list(records),
+    )
+
+
+class TestSummaryAndGates:
+    def test_nearest_rank_percentiles(self):
+        # Latencies 1..1000 ms: nearest-rank p50/p99/p999 are exactly
+        # the 500th/990th/999th values.
+        records = [_record(i, (i + 1) / 1000.0) for i in range(1000)]
+        summary = summarize(_run_with(records, elapsed=1.0))
+        assert summary.p50_ms == pytest.approx(500.0)
+        assert summary.p99_ms == pytest.approx(990.0)
+        assert summary.p999_ms == pytest.approx(999.0)
+        assert summary.max_ms == pytest.approx(1000.0)
+        assert summary.requests == 1000
+        assert summary.offered_rps == pytest.approx(1000.0)
+        assert summary.achieved_rps == pytest.approx(1000.0)
+        assert summary.achieved_ratio == pytest.approx(1.0)
+
+    def test_error_taxonomy_splits_expected_from_unexpected(self):
+        scenario = get_scenario("feedback_replay").scaled(duration_seconds=1.0)
+        records = [
+            _record(0, 0.01),
+            _record(1, 0.01, ok=False, error="IdempotencyConflictError"),
+            _record(2, 0.01, ok=False, error="IdempotencyConflictError"),
+            _record(3, 0.01, ok=False, error="TransportError"),
+        ]
+        summary = summarize(_run_with(records, scenario=scenario))
+        assert summary.error_taxonomy == {
+            "IdempotencyConflictError": 2,
+            "TransportError": 1,
+        }
+        assert summary.unexpected_errors == 1
+        assert summary.failed_requests == 3
+
+    def test_secondary_records_do_not_skew_percentiles(self):
+        records = [_record(0, 0.010)]
+        records += [
+            _record(0, 5.0, primary=False, op="feedback") for _ in range(10)
+        ]
+        summary = summarize(_run_with(records))
+        assert summary.p99_ms == pytest.approx(10.0)
+        assert summary.requests == 11
+
+    def test_gate_violations_catch_each_gate(self):
+        records = [_record(i, 0.050) for i in range(99)] + [_record(99, 2.0)]
+        summary = summarize(_run_with(records, elapsed=1.0))
+        gates = TailGates(p99_ms=100.0, p999_ms=150.0, min_achieved_ratio=0.99)
+        violations = gate_violations(summary, gates)
+        assert any("p99" in v for v in violations)
+        assert any("p999" in v for v in violations)
+        # Loose gates pass cleanly.
+        assert gate_violations(summary, TailGates(p99_ms=5000.0)) == []
+
+    def test_gate_on_achieved_throughput_floor(self):
+        # 100 arrivals over a 1s schedule, but the run took 4s to drain:
+        # achieved/offered = 0.25 — the open-loop "fell behind" signal.
+        records = [_record(i, 0.010) for i in range(100)]
+        summary = summarize(_run_with(records, elapsed=4.0))
+        assert summary.achieved_ratio == pytest.approx(0.25)
+        violations = gate_violations(summary, TailGates(p99_ms=1000.0, min_achieved_ratio=0.5))
+        assert any("achieved/offered" in v for v in violations)
+
+    def test_gate_on_unexpected_errors(self):
+        records = [_record(0, 0.01), _record(1, 0.01, ok=False, error="InternalServiceError")]
+        summary = summarize(_run_with(records))
+        violations = gate_violations(summary, TailGates(p99_ms=1000.0, min_achieved_ratio=0.01))
+        assert any("unexpected errors" in v for v in violations)
+        with pytest.raises(BenchmarkError, match="failed its tail gates"):
+            assert_tail_gates(summary, TailGates(p99_ms=1000.0, min_achieved_ratio=0.01))
+
+    def test_all_failed_run_reports_undefined_percentiles(self):
+        records = [_record(0, 0.01, ok=False, error="TransportError")]
+        summary = summarize(_run_with(records))
+        violations = gate_violations(summary, TailGates(p99_ms=1000.0))
+        assert any("no successful primary requests" in v for v in violations)
+
+
+class TestJsonlArtifacts:
+    def test_write_read_round_trip(self, tmp_path):
+        scenario = get_scenario("steady").scaled(duration_seconds=1.0)
+        records = [
+            _record(0, 0.010),
+            _record(1, 0.020, ok=False, error="RateLimitedError"),
+        ]
+        run = _run_with(records, scenario=scenario)
+        run.metrics_before = {"seesaw_requests_total": 1.0}
+        run.metrics_after = {"seesaw_requests_total": 3.0}
+        path = write_run_jsonl(tmp_path / "traffic_steady.jsonl", run)
+        loaded = read_run_jsonl(path)
+        assert loaded["meta"]["transport"] == "test"
+        assert TrafficScenario.from_json(loaded["meta"]["scenario"]) == scenario
+        assert loaded["meta"]["metrics_after"]["seesaw_requests_total"] == 3.0
+        assert len(loaded["requests"]) == 2
+        assert loaded["requests"][0]["latency_ms"] == pytest.approx(10.0)
+        summary = loaded["summary"]
+        assert summary["scenario"] == "steady"
+        assert summary["error_taxonomy"] == {"RateLimitedError": 1}
+        # Every line is standalone JSON (the artifact contract).
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == (
+            ["meta"] + ["request"] * 2 + ["summary"]
+        )
+
+    def test_read_rejects_malformed_artifacts(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"kind": "request"}\n')
+        with pytest.raises(BenchmarkError, match="missing meta/summary"):
+            read_run_jsonl(path)
