@@ -1,6 +1,6 @@
-"""Open-loop traffic scoreboard: steady + burst scenarios over real HTTP.
+"""Open-loop traffic scoreboard: steady, burst, and chaos over real HTTP.
 
-These are the two CI-gated rows of the scenario pack (the remaining shapes
+These are the CI-gated rows of the scenario pack (the remaining shapes
 run in the integration smoke suite).  Each run fires a Poisson arrival
 schedule at a live socket server, writes its JSONL artifact under
 ``benchmarks/results/`` — the scoreboard the async-serving and
@@ -65,5 +65,45 @@ def test_traffic_scenario_gates(
     save_report(f"traffic_{name}", _format(summary))
     # The taxonomy must be exactly what the scenario declares (for these
     # two shapes: empty), and the tails must clear the scenario's gates.
+    assert summary.unexpected_errors == 0, summary.error_taxonomy
+    assert_tail_gates(summary, scenario.gates)
+
+
+def test_traffic_chaos_gates(
+    benchmark, traffic_server, traffic_queries, results_dir, save_report
+):
+    """Fault-injection row: the chaos scenario against a live socket server.
+
+    The scenario arms a deterministic ``FaultyClient`` over the workload
+    client and opens a mid-run fault window (latency, typed errors,
+    connection resets, truncated NDJSON streams, skewed deadlines).  The
+    gates assert the resilience contract rather than raw speed: every
+    failure must land in the scenario's declared taxonomy (typed errors
+    only — no raw tracebacks), and traffic scheduled after the window
+    closes must recover under the scenario's ``recovery_p99_ms`` gate.
+    """
+    scenario = _bench_scenario("chaos")
+    client = HTTPClient(traffic_server.url, client_id="bench-traffic-chaos")
+    summary = benchmark.pedantic(
+        lambda: run_and_report(
+            client,
+            scenario,
+            dataset="bdd",
+            queries=traffic_queries,
+            results_dir=results_dir,
+            transport="http",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    recovery = (
+        f"{summary.recovery_p99_ms:.1f}ms"
+        if summary.recovery_p99_ms is not None
+        else "undefined"
+    )
+    save_report(
+        "traffic_chaos",
+        _format(summary) + f"\n  recovery p99        {recovery}",
+    )
     assert summary.unexpected_errors == 0, summary.error_taxonomy
     assert_tail_gates(summary, scenario.gates)

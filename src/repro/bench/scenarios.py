@@ -13,7 +13,11 @@ historically flushed out serving bugs: steady arrivals, bursts (queueing
 collapse and window-latency waste), session churn (registry lock pressure),
 mixed next/stream/info ratios, slow-drip streaming consumers (keep-alive
 and chunked-writer behaviour), adversarial feedback replays (idempotency
-under concurrency), and rate-limit storms (the 429 path under fire).
+under concurrency), rate-limit storms (the 429 path under fire), and the
+``chaos`` scenario — a windowed fault-injection run (injected latency,
+typed 500s, connection resets, truncated streams, skewed deadlines) whose
+gates assert the resilience layer fails *typed* and recovers after the
+window closes.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.exceptions import BenchmarkError
+from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -112,6 +117,11 @@ class TailGates:
     p999_ms: "float | None" = None
     min_achieved_ratio: float = 0.5
     max_unexpected_errors: int = 0
+    recovery_p99_ms: "float | None" = None
+    """For fault scenarios with a bounded window: p99 over the primaries
+    scheduled *after* the fault window closed.  The recovery gate is what
+    proves the service healed — breakers re-closed, degradation lifted,
+    no stranded waiters — instead of merely surviving the chaos."""
 
     def __post_init__(self) -> None:
         if self.p99_ms <= 0:
@@ -126,6 +136,10 @@ class TailGates:
             )
         if self.max_unexpected_errors < 0:
             raise BenchmarkError("max_unexpected_errors must be >= 0")
+        if self.recovery_p99_ms is not None and self.recovery_p99_ms <= 0:
+            raise BenchmarkError(
+                f"recovery_p99_ms gate must be positive, got {self.recovery_p99_ms}"
+            )
 
 
 @dataclass(frozen=True)
@@ -155,6 +169,11 @@ class TrafficScenario:
     """Hint for the fixture building the server: a positive value asks for
     ``RateLimitMiddleware`` at this sustained rate (HTTP transport only —
     the in-process client sits below the middleware pipeline)."""
+    faults: "FaultPlan | None" = None
+    """A fault plan makes this a chaos scenario: the harness wraps the
+    client in :class:`~repro.faults.client.FaultyClient` (armed at the
+    run's t0, so the plan's window offsets line up with arrival offsets)
+    and every injected failure must land in ``expected_errors``."""
     gates: TailGates = field(default_factory=lambda: TailGates(p99_ms=500.0))
 
     def __post_init__(self) -> None:
@@ -179,10 +198,24 @@ class TrafficScenario:
         rate_rps: "float | None" = None,
         session_count: "int | None" = None,
     ) -> "TrafficScenario":
-        """The same workload at a different scale (for CI smoke runs)."""
+        """The same workload at a different scale (for CI smoke runs).
+
+        Rescaling the duration also rescales a fault plan's window by the
+        same ratio, so a smoke run keeps the full baseline → chaos →
+        recovery arc instead of compressing the run to before (or entirely
+        inside) the fault window.
+        """
         overrides: "dict[str, Any]" = {}
         if duration_seconds is not None:
             overrides["duration_seconds"] = duration_seconds
+            if self.faults is not None and self.duration_seconds > 0:
+                ratio = duration_seconds / self.duration_seconds
+                stop = self.faults.window_stop_seconds
+                overrides["faults"] = dataclasses.replace(
+                    self.faults,
+                    window_start_seconds=self.faults.window_start_seconds * ratio,
+                    window_stop_seconds=None if stop is None else stop * ratio,
+                )
         if rate_rps is not None:
             overrides["rate_rps"] = rate_rps
         if session_count is not None:
@@ -203,8 +236,17 @@ class TrafficScenario:
             burst = BurstProfile(**burst_payload) if burst_payload else None
             gates = TailGates(**data.pop("gates"))
             expected = tuple(data.pop("expected_errors", ()))
+            faults_payload = data.pop("faults", None)
+            faults = (
+                FaultPlan.from_json(faults_payload) if faults_payload else None
+            )
             return TrafficScenario(
-                mix=mix, burst=burst, gates=gates, expected_errors=expected, **data
+                mix=mix,
+                burst=burst,
+                gates=gates,
+                expected_errors=expected,
+                faults=faults,
+                **data,
             )
         except TypeError as exc:
             raise BenchmarkError(f"Malformed scenario payload: {exc}") from exc
@@ -271,9 +313,51 @@ SCENARIO_PACK: "tuple[TrafficScenario, ...]" = (
         ),
         gates=TailGates(p99_ms=800.0, min_achieved_ratio=0.2),
     ),
+    TrafficScenario(
+        name="chaos",
+        description=(
+            "Windowed fault injection over mixed traffic: latency, 500s, "
+            "resets, truncated streams, and skewed deadlines — the resilience "
+            "layer's proof run."
+        ),
+        duration_seconds=6.0,
+        rate_rps=20.0,
+        mix=OpMix(next_results=0.7, stream=0.2, info=0.1),
+        faults=FaultPlan(
+            seed=97,
+            latency_ms=80.0,
+            latency_probability=0.15,
+            error_probability=0.08,
+            reset_probability=0.08,
+            truncate_probability=0.05,
+            skew_probability=0.05,
+            window_start_seconds=1.5,
+            window_stop_seconds=4.0,
+        ),
+        # Every fault family surfaces as its typed error; the session
+        # recycling a mid-round failure forces can itself lose close/start
+        # races, which shows up as session-liveness errors.  Anything
+        # outside this taxonomy (raw socket errors, harness crashes) trips
+        # the gate — that is the scenario's whole point.
+        expected_errors=(
+            "InternalServiceError",
+            "ConnectionFailedError",
+            "TransportError",
+            "DeadlineExceededError",
+            "CircuitOpenError",
+            "SessionError",
+            "UnknownResourceError",
+        ),
+        gates=TailGates(
+            p99_ms=1500.0,
+            min_achieved_ratio=0.4,
+            recovery_p99_ms=600.0,
+        ),
+    ),
 )
-"""The shipped scenario pack — ISSUE/ROADMAP's six named load shapes plus
-the steady baseline every scaling PR reports against."""
+"""The shipped scenario pack — ISSUE/ROADMAP's named load shapes plus the
+steady baseline every scaling PR reports against and the ``chaos``
+fault-injection run the resilience layer gates on."""
 
 
 def scenario_names() -> "tuple[str, ...]":

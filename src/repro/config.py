@@ -14,6 +14,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Mapping
 
 from repro.exceptions import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.utils.validation import check_positive, check_probability
 
 
@@ -272,6 +273,53 @@ class SeeSawConfig:
     """Observability section (:mod:`repro.obs`): span tracing switch,
     slow-request log threshold, metric-series cardinality bound.  Runtime
     knobs only — excluded from the index-cache key."""
+    request_deadline_ms: float = 0.0
+    """Default per-request budget (milliseconds) the server applies when a
+    request carries no ``X-Deadline-Ms`` header.  Once the budget runs out
+    the request fails with the typed 504 (``code="deadline_exceeded"``)
+    instead of burning coalescer slots and engine dispatch on an answer
+    nobody is waiting for.  ``0`` applies no default — only client-sent
+    deadlines are enforced.  Runtime knob, excluded from the cache key."""
+    max_in_flight: int = 0
+    """Admission-control bound: the maximum number of requests the service
+    processes concurrently before the app sheds new arrivals with a 503 and
+    a ``Retry-After`` hint — a cheap rejection *before* queueing collapse
+    rather than an expensive timeout after it.  ``0`` disables shedding.
+    Runtime knob, excluded from the cache key."""
+    overload_ef_floor: int = 8
+    """Graceful-degradation floor for the graph-ANN beam: while the service
+    is overloaded (in-flight at or beyond ``max_in_flight``), admitted
+    queries run with a reduced ``ef`` no lower than this floor, trading
+    recall for latency until load drains.  Runtime knob, excluded from the
+    cache key."""
+    retry_max_attempts: int = 3
+    """Client-side retry budget: total attempts per logical call (first try
+    included) for retryable failures (429/503/transient 500s, connection
+    failures on idempotent calls).  ``1`` disables retries."""
+    retry_base_ms: float = 50.0
+    """Base of the client's exponential backoff: attempt ``n`` sleeps a
+    uniform random draw from ``[0, min(retry_max_ms, retry_base_ms * 2**n))``
+    (full jitter), unless the server's ``Retry-After`` hint says longer."""
+    retry_max_ms: float = 2000.0
+    """Cap (milliseconds) on a single client backoff sleep."""
+    breaker_failure_threshold: int = 5
+    """Consecutive transport-level failures per host before the client's
+    circuit breaker opens and calls fail fast with ``CircuitOpenError``
+    instead of hammering a dead host.  ``0`` disables the breaker."""
+    breaker_reset_s: float = 5.0
+    """Cooldown (seconds) an open breaker waits before letting one probe
+    call through (half-open); a successful probe closes it."""
+    drain_timeout_s: float = 10.0
+    """Graceful-drain budget: on SIGTERM/``shutdown()`` the server flips
+    ``/healthz`` to ``draining``, rejects new sessions with a typed 503,
+    and gives in-flight work this long to finish before closing."""
+    faults: "FaultPlan | None" = None
+    """Fault-injection plan (:mod:`repro.faults`).  When set, the server
+    mounts :class:`~repro.faults.middleware.ChaosMiddleware` in the `/v1`
+    pipeline and injects the planned latency/error faults deterministically
+    from the plan's seed.  ``None`` (the default) injects nothing — the
+    knob exists for chaos testing, never for production serving.  Runtime
+    knob, excluded from the cache key."""
 
     def __post_init__(self) -> None:
         if self.embedding_dim < 2:
@@ -306,6 +354,44 @@ class SeeSawConfig:
             raise ConfigurationError(
                 f"rate_limit_burst must be >= 1, got {self.rate_limit_burst}"
             )
+        if self.request_deadline_ms < 0:
+            raise ConfigurationError(
+                f"request_deadline_ms must be >= 0, got {self.request_deadline_ms}"
+            )
+        if self.max_in_flight < 0:
+            raise ConfigurationError(
+                f"max_in_flight must be >= 0, got {self.max_in_flight}"
+            )
+        if self.overload_ef_floor < 1:
+            raise ConfigurationError(
+                f"overload_ef_floor must be >= 1, got {self.overload_ef_floor}"
+            )
+        if self.retry_max_attempts < 1:
+            raise ConfigurationError(
+                f"retry_max_attempts must be >= 1, got {self.retry_max_attempts}"
+            )
+        if self.retry_base_ms <= 0:
+            raise ConfigurationError(
+                f"retry_base_ms must be > 0, got {self.retry_base_ms}"
+            )
+        if self.retry_max_ms < self.retry_base_ms:
+            raise ConfigurationError(
+                f"retry_max_ms ({self.retry_max_ms}) must be >= retry_base_ms "
+                f"({self.retry_base_ms})"
+            )
+        if self.breaker_failure_threshold < 0:
+            raise ConfigurationError(
+                f"breaker_failure_threshold must be >= 0, got "
+                f"{self.breaker_failure_threshold}"
+            )
+        if self.breaker_reset_s <= 0:
+            raise ConfigurationError(
+                f"breaker_reset_s must be > 0, got {self.breaker_reset_s}"
+            )
+        if self.drain_timeout_s < 0:
+            raise ConfigurationError(
+                f"drain_timeout_s must be >= 0, got {self.drain_timeout_s}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "SeeSawConfig":
         """Return a copy with the given top-level fields replaced."""
@@ -328,6 +414,11 @@ class SeeSawConfig:
         }
         kwargs: dict[str, Any] = {}
         for key, value in data.items():
+            if key == "faults":
+                kwargs[key] = (
+                    FaultPlan.from_json(value) if isinstance(value, Mapping) else value
+                )
+                continue
             section = sections.get(key)
             if section is not None and isinstance(value, Mapping):
                 kwargs[key] = section(**value)
@@ -364,6 +455,11 @@ class SeeSawConfig:
             "mmap_index": self.mmap_index,
             "telemetry_enabled": self.telemetry.enabled,
             "slow_request_ms": self.telemetry.slow_request_ms,
+            "request_deadline_ms": self.request_deadline_ms,
+            "max_in_flight": self.max_in_flight,
+            "retry_max_attempts": self.retry_max_attempts,
+            "drain_timeout_s": self.drain_timeout_s,
+            "faults": self.faults is not None and self.faults.any_faults,
         }
 
 

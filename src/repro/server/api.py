@@ -18,14 +18,20 @@ PROTOCOL_VERSION = "v1"
 on breaking changes; within a version, additions are announced through the
 ``revision`` counter and ``GET /v1/capabilities``."""
 
-PROTOCOL_REVISION = 2
+PROTOCOL_REVISION = 3
 """Monotonic feature counter within the protocol version.  Clients that need
 a newly added capability compare against this instead of sniffing routes.
 
 Revision history: 1 — initial /v1 surface (streaming, idempotency, paging,
 batch-next); 2 — metrics exposition (``GET /v1/metrics``), ``tracing`` and
 ``metrics_exposition`` capability flags, ``seconds_per_round`` in the
-session-listing telemetry."""
+session-listing telemetry; 3 — resilience surface: ``X-Deadline-Ms``
+propagation with the typed 504 (``deadline_exceeded``), ``Retry-After`` on
+429/503 (mirrored as ``retry_after_seconds`` in envelope details),
+admission-control shedding, the drain state in ``/healthz``
+(``state``/``uptime_seconds``/``in_flight``), and the
+``deadline_propagation``/``admission_control``/``graceful_drain``/
+``retry_hints`` capability flags."""
 
 
 @dataclass(frozen=True)

@@ -42,7 +42,10 @@ import time
 from typing import Any, Iterator, Sequence
 from urllib.parse import parse_qs, urlsplit
 
+import math
+
 from repro.exceptions import (
+    DeadlineExceededError,
     RateLimitedError,
     ReproError,
     ServiceOverloadedError,
@@ -71,6 +74,9 @@ from repro.server.manager import SessionManager
 from repro.server.middleware import (
     ACCESS_LOGGER_NAME,
     AccessLogMiddleware,
+    AdmissionControlMiddleware,
+    DeadlineMiddleware,
+    InFlightTracker,
     Middleware,
     MiddlewarePipeline,
     RateLimitMiddleware,
@@ -79,6 +85,7 @@ from repro.server.middleware import (
     Response,
     emit_access_record,
     record_request_metrics,
+    route_template,
 )
 
 
@@ -88,7 +95,15 @@ def error_payload(kind: str, message: str) -> "dict[str, object]":
 
 
 def default_middlewares(manager: SessionManager) -> "list[Middleware]":
-    """The standard pipeline: request ids, access logs, optional rate limits."""
+    """The standard pipeline: ids, logs, limits, deadlines, admission, chaos.
+
+    Outermost first.  Rate limiting sits before deadlines and admission —
+    a client over its own budget is rejected by the cheapest check; the
+    deadline scope opens before admission so even the shed path observes
+    the request's budget.  The admission tracker is registered with the
+    manager (``/healthz`` reports the live in-flight count) and its
+    overload transitions drive the service's graceful-degradation hook.
+    """
     config = manager.service.config
     middlewares: "list[Middleware]" = [
         RequestIdMiddleware(),
@@ -100,6 +115,21 @@ def default_middlewares(manager: SessionManager) -> "list[Middleware]":
     if config.rate_limit_rps > 0:
         middlewares.append(
             RateLimitMiddleware(config.rate_limit_rps, config.rate_limit_burst)
+        )
+    middlewares.append(DeadlineMiddleware(config.request_deadline_ms))
+    tracker = InFlightTracker(
+        limit=config.max_in_flight,
+        on_overload=manager.service.set_overload_degraded,
+    )
+    manager.attach_inflight_tracker(tracker)
+    middlewares.append(
+        AdmissionControlMiddleware(tracker, registry=manager.service.metrics)
+    )
+    if config.faults is not None and config.faults.any_faults:
+        from repro.faults.middleware import ChaosMiddleware
+
+        middlewares.append(
+            ChaosMiddleware(config.faults, registry=manager.service.metrics)
         )
     return middlewares
 
@@ -205,6 +235,9 @@ class SeeSawApp:
 
     def _error_response(self, request: Request, exc: BaseException) -> Response:
         """Encode one raised exception for the request's route family."""
+        return self._finish_error(request, exc, self._encode_exception(request, exc))
+
+    def _encode_exception(self, request: Request, exc: BaseException) -> Response:
         if _is_v1(request.target):
             status, payload = encode_error(exc, request_id=request.request_id)
             return Response(status, payload)
@@ -219,9 +252,32 @@ class SeeSawApp:
             # Post-dates the legacy protocol, so there is no legacy shape to
             # preserve: keep the envelope style, use the proper status.
             return Response(429, error_payload("RateLimitedError", str(exc)))
+        if isinstance(exc, DeadlineExceededError):
+            # Post-dates the legacy protocol too: same envelope style, 504.
+            return Response(504, error_payload("DeadlineExceededError", str(exc)))
         if isinstance(exc, ReproError):
             return Response(400, error_payload(type(exc).__name__, str(exc)))
         return Response(500, error_payload("InternalError", str(exc)))
+
+    def _finish_error(
+        self, request: Request, exc: BaseException, response: Response
+    ) -> Response:
+        """Cross-family error trimmings: Retry-After header, 504 counter."""
+        retry_after = getattr(exc, "retry_after_seconds", None)
+        if retry_after is not None and response.status in (429, 503):
+            # HTTP Retry-After is whole seconds; round up so a client that
+            # honours it exactly never lands before the hinted instant.
+            response.headers.setdefault(
+                "Retry-After", str(max(1, math.ceil(float(retry_after))))
+            )
+        if isinstance(exc, DeadlineExceededError):
+            self.manager.service.metrics.counter(
+                "seesaw_deadline_exceeded_total",
+                "Requests failed with the typed 504: the propagated budget "
+                "ran out before the work finished, by route.",
+                labels=("route",),
+            ).labels(route_template(request.target)).inc()
+        return response
 
     def _route_legacy(
         self,

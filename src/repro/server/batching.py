@@ -24,7 +24,12 @@ import threading
 import time
 from typing import Callable, Sequence
 
-from repro.exceptions import InternalServiceError, ServiceOverloadedError
+from repro.exceptions import (
+    DeadlineExceededError,
+    InternalServiceError,
+    ServiceOverloadedError,
+)
+from repro.server.deadlines import Deadline
 from repro.obs import (
     DEFAULT_SIZE_BUCKETS,
     MetricsRegistry,
@@ -44,14 +49,23 @@ _PROMOTED = object()
 class _PendingRequest:
     """One waiter: its request, a wakeup event, and its eventual outcome."""
 
-    __slots__ = ("session_id", "count", "event", "outcome", "enqueued_at")
+    __slots__ = ("session_id", "count", "event", "outcome", "enqueued_at", "deadline")
 
-    def __init__(self, session_id: str, count: "int | None") -> None:
+    def __init__(
+        self,
+        session_id: str,
+        count: "int | None",
+        deadline: "Deadline | None" = None,
+    ) -> None:
         self.session_id = session_id
         self.count = count
         self.event = threading.Event()
         self.outcome: object = None
         self.enqueued_at = time.perf_counter()
+        # The submitting request's deadline rides with the entry because the
+        # cohort is serviced on the *leader's* thread — the contextvar scope
+        # of the submitter is invisible there, the object is not.
+        self.deadline = deadline
 
 
 class NextBatchCoalescer:
@@ -105,15 +119,44 @@ class NextBatchCoalescer:
             "seesaw_coalescer_dispatch_mismatch_total",
             "Cohorts whose dispatch returned a mismatched outcome count.",
         )
+        self._expired = self.metrics.counter(
+            "seesaw_coalescer_expired_total",
+            "Queued next-requests whose deadline expired before dispatch "
+            "(failed with the typed 504, dropped from their cohort).",
+        )
+
+    def _waiter_timeout(self, entry: _PendingRequest) -> float:
+        """One follower's wait bound: the configured timeout, deadline-capped.
+
+        A small grace past the deadline keeps the *leader* the usual one to
+        notice expiry (it fails the entry typed and cheap while draining the
+        queue); the waiter's own wakeup is the backstop when no leader gets
+        there.
+        """
+        if entry.deadline is None:
+            return self.wait_timeout_seconds
+        grace = min(0.05, self.wait_timeout_seconds)
+        return entry.deadline.bound_wait(self.wait_timeout_seconds) + grace
 
     # ------------------------------------------------------------------
     # the one public entry point
     # ------------------------------------------------------------------
-    def submit(self, session_id: str, count: "int | None" = None) -> object:
+    def submit(
+        self,
+        session_id: str,
+        count: "int | None" = None,
+        deadline: "Deadline | None" = None,
+    ) -> object:
         """Enqueue one request; block until its cohort is dispatched.
 
         Returns the request's own result, or raises its own exception —
         per-request failures never propagate to other cohort members.
+
+        With a ``deadline``, the wait is bounded by the remaining budget:
+        an entry whose budget runs out while still queued withdraws and
+        raises the typed 504 (the session's state was not advanced), and
+        the leader drops already-dead entries from cohorts before dispatch
+        so an expired request never occupies a fused slot.
 
         Leadership is one cohort at a time: the leader waits out the
         window (or less, once the cohort is full), dispatches the first
@@ -122,7 +165,7 @@ class NextBatchCoalescer:
         of looping — so under sustained traffic no thread's own response is
         withheld while it services other people's cohorts.
         """
-        entry = _PendingRequest(session_id, count)
+        entry = _PendingRequest(session_id, count, deadline)
         with self._lock:
             self._queue.append(entry)
             if len(self._queue) >= self.max_batch_size:
@@ -138,7 +181,7 @@ class NextBatchCoalescer:
                 # a long backlog pushed it out, fall through and wait like
                 # any follower.
                 continue
-            if not entry.event.wait(timeout=self.wait_timeout_seconds):
+            if not entry.event.wait(timeout=self._waiter_timeout(entry)):
                 timed_out, promoted = self._abandon(entry)
                 if promoted:
                     is_leader = True
@@ -146,12 +189,17 @@ class NextBatchCoalescer:
                 if timed_out:
                     # Still queued, never dispatched: safe to fail fast —
                     # the session's state was not advanced.
+                    if entry.deadline is not None and entry.deadline.expired:
+                        self._expired.inc()
+                        entry.deadline.check("coalescer dispatch")
                     raise ServiceOverloadedError(
                         "Timed out waiting for the batch scheduler; retry"
                     )
                 # In flight: the round *will* run (the cohort runner always
                 # sets outcomes, even when dispatch raises), so wait it out
-                # rather than abandoning a round that advances the session.
+                # rather than abandoning a round that advances the session —
+                # at this point the full timeout applies even to a dead
+                # deadline, because the state change must be observed.
                 if not entry.event.wait(timeout=self.wait_timeout_seconds):
                     raise ServiceOverloadedError(
                         "Batch dispatch wedged past two timeout windows"
@@ -209,8 +257,24 @@ class NextBatchCoalescer:
             del self._queue[: self.max_batch_size]
             if len(self._queue) < self.max_batch_size:
                 self._cohort_full.clear()
-        if cohort:
-            self._run_cohort(cohort)
+        # Fail already-dead entries typed and cheap instead of spending a
+        # fused slot (and everyone else's GEMM time) on an answer nobody is
+        # waiting for.  Their sessions were never advanced, so the 504 is
+        # safe to retry with a fresh budget.
+        live: "list[_PendingRequest]" = []
+        for pending in cohort:
+            if pending.deadline is not None and pending.deadline.expired:
+                self._expired.inc()
+                pending.outcome = DeadlineExceededError(
+                    f"Deadline exceeded while queued for the batch "
+                    f"scheduler: budget of {pending.deadline.budget_ms:.0f}ms "
+                    f"overrun by {-pending.deadline.remaining_ms():.0f}ms"
+                )
+                pending.event.set()
+            else:
+                live.append(pending)
+        if live:
+            self._run_cohort(live)
         with self._lock:
             if self._queue:
                 # Promote the oldest waiter; _leader_active stays True so

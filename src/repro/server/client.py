@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import urllib.error
 import urllib.parse
 import urllib.request
 from typing import Any, Iterator, Mapping, Sequence
 
 from repro.exceptions import (
+    ConnectionFailedError,
     RateLimitedError,
     ReproError,
     ServiceOverloadedError,
@@ -46,8 +48,10 @@ from repro.server.codec import (
     encode_feedback_request,
     encode_start_session_request,
 )
+from repro.server.deadlines import DEADLINE_HEADER, current_deadline
 from repro.server.errors import decode_error
 from repro.server.protocol import SeeSawClientProtocol
+from repro.server.retry import RetryPolicy
 
 _ERROR_TYPES: "dict[str, type[ReproError]]" = {
     "TransportError": TransportError,
@@ -64,6 +68,14 @@ class HTTPClient(SeeSawClientProtocol):
     ``client_id`` (sent as ``X-Client-Id``) names this caller for rate
     limiting and access logs; without it the server falls back to the
     remote address.
+
+    ``retry_policy`` opts the client into the resilience layer
+    (:mod:`repro.server.retry`): retry with jittered backoff on retryable
+    errors, ``Retry-After`` honoured, the per-host circuit breaker engaged.
+    ``None`` (the default) keeps the historical raise-first-error
+    behaviour.  Calls wrapped in
+    :func:`~repro.server.deadlines.deadline_scope` send their remaining
+    budget as ``X-Deadline-Ms`` either way.
     """
 
     def __init__(
@@ -71,22 +83,29 @@ class HTTPClient(SeeSawClientProtocol):
         base_url: str,
         timeout: float = 30.0,
         client_id: "str | None" = None,
+        retry_policy: "RetryPolicy | None" = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.client_id = client_id
+        self.retry_policy = retry_policy
+        self._host = urllib.parse.urlsplit(self.base_url).netloc or self.base_url
 
     # ------------------------------------------------------------------
     # discovery
     # ------------------------------------------------------------------
     def capabilities(self) -> "dict[str, Any]":
-        return self._request("GET", "/v1/capabilities")
+        return self._request(
+            "GET", "/v1/capabilities", idempotent=True, operation="capabilities"
+        )
 
     def healthz(self) -> "dict[str, Any]":
-        return self._request("GET", "/v1/healthz")
+        return self._request("GET", "/v1/healthz", idempotent=True, operation="healthz")
 
     def metrics_json(self) -> "dict[str, Any]":
-        return self._request("GET", "/v1/metrics?format=json")
+        return self._request(
+            "GET", "/v1/metrics?format=json", idempotent=True, operation="metrics"
+        )
 
     def metrics_text(self) -> str:
         return self._request_text("GET", "/v1/metrics")
@@ -95,13 +114,26 @@ class HTTPClient(SeeSawClientProtocol):
     # session lifecycle
     # ------------------------------------------------------------------
     def start_session(self, request: StartSessionRequest) -> SessionInfo:
+        # Not idempotent: a retry after a connection died mid-request could
+        # start a second (orphaned) session.  Clean 429/503 rejections
+        # still retry — the server refused before creating anything.
         payload = self._request(
-            "POST", "/v1/sessions", encode_start_session_request(request)
+            "POST",
+            "/v1/sessions",
+            encode_start_session_request(request),
+            operation="start_session",
         )
         return decode_session_info(payload)
 
     def session_info(self, session_id: str) -> SessionInfo:
-        return decode_session_info(self._request("GET", f"/v1/sessions/{session_id}"))
+        return decode_session_info(
+            self._request(
+                "GET",
+                f"/v1/sessions/{session_id}",
+                idempotent=True,
+                operation="session_info",
+            )
+        )
 
     def list_sessions(
         self, cursor: "str | None" = None, limit: "int | None" = None
@@ -114,10 +146,17 @@ class HTTPClient(SeeSawClientProtocol):
         path = "/v1/sessions"
         if params:
             path += "?" + urllib.parse.urlencode(params)
-        return decode_session_page(self._request("GET", path))
+        return decode_session_page(
+            self._request("GET", path, idempotent=True, operation="list_sessions")
+        )
 
     def close_session(self, session_id: str) -> None:
-        self._request("DELETE", f"/v1/sessions/{session_id}")
+        self._request(
+            "DELETE",
+            f"/v1/sessions/{session_id}",
+            idempotent=True,
+            operation="close_session",
+        )
 
     # ------------------------------------------------------------------
     # the search loop
@@ -128,7 +167,12 @@ class HTTPClient(SeeSawClientProtocol):
         path = f"/v1/sessions/{session_id}/next"
         if count is not None:
             path += f"?count={count}"
-        return decode_next_results_response(self._request("GET", path))
+        # GET in shape only: each call advances the session's result
+        # cursor, so a blind replay after a mid-flight failure would skip a
+        # batch.  Clean pre-dispatch rejections (429/503/504) still retry.
+        return decode_next_results_response(
+            self._request("GET", path, operation="next")
+        )
 
     def stream_next_results(
         self, session_id: str, count: "int | None" = None
@@ -166,18 +210,24 @@ class HTTPClient(SeeSawClientProtocol):
                 for session_id, count in requests
             ]
         }
-        data = self._request("POST", "/v1/sessions/batch-next", payload)
+        data = self._request(
+            "POST", "/v1/sessions/batch-next", payload, operation="batch_next"
+        )
         return [self._decode_outcome(item) for item in data["results"]]
 
     def give_feedback(
         self, request: FeedbackRequest, idempotency_key: "str | None" = None
     ) -> SessionInfo:
         headers = {} if idempotency_key is None else {"Idempotency-Key": idempotency_key}
+        # With an idempotency key the server dedupes replays, which is what
+        # makes retrying a maybe-applied feedback submission safe.
         payload = self._request(
             "POST",
             f"/v1/sessions/{request.session_id}/feedback",
             encode_feedback_request(request),
             headers=headers,
+            idempotent=idempotency_key is not None,
+            operation="feedback",
         )
         return decode_session_info(payload)
 
@@ -203,10 +253,26 @@ class HTTPClient(SeeSawClientProtocol):
             merged["Content-Type"] = "application/json"
         if self.client_id is not None:
             merged["X-Client-Id"] = self.client_id
+        deadline = current_deadline()
+        if deadline is not None:
+            # The wire carries the budget *remaining at send time* — each
+            # retry attempt re-reads it, so the server always sees how much
+            # the caller still has, not what it started with.
+            merged[DEADLINE_HEADER] = f"{deadline.remaining_ms():.0f}"
         if headers:
             merged.update(headers)
         return urllib.request.Request(
             self.base_url + path, data=body, method=method, headers=merged
+        )
+
+    def _call(
+        self, attempt: "Any", idempotent: bool, operation: str
+    ) -> "Any":
+        """Run one transport attempt under the retry policy, if any."""
+        if self.retry_policy is None:
+            return attempt()
+        return self.retry_policy.call(
+            attempt, idempotent=idempotent, host=self._host, operation=operation
         )
 
     def _request(
@@ -215,17 +281,22 @@ class HTTPClient(SeeSawClientProtocol):
         path: str,
         payload: "Mapping[str, Any] | None" = None,
         headers: "Mapping[str, str] | None" = None,
+        idempotent: bool = False,
+        operation: str = "request",
     ) -> "dict[str, Any]":
-        request = self._prepare(method, path, payload, headers)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                raw = response.read()
-        except (OSError, http.client.HTTPException) as exc:
-            raise self._wire_error(exc) from exc
-        try:
-            return json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise TransportError(f"Server returned invalid JSON: {exc}") from exc
+        def attempt() -> "dict[str, Any]":
+            request = self._prepare(method, path, payload, headers)
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise self._wire_error(exc) from exc
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise TransportError(f"Server returned invalid JSON: {exc}") from exc
+
+        return self._call(attempt, idempotent, operation)
 
     def _request_text(self, method: str, path: str) -> str:
         """A request whose response body is plain text (Prometheus format)."""
@@ -265,17 +336,29 @@ class HTTPClient(SeeSawClientProtocol):
         means the service was never reached; anything else (IncompleteRead,
         a connection reset mid-stream) is a connection that died partway —
         all surface as the typed errors the protocol promises, never raw
-        ``http.client``/``OSError`` leakage.
+        ``http.client``/``OSError`` leakage.  Connection-level failures
+        carry ``request_sent``: refused/unreachable connections never got
+        the request out (always safe to retry), everything else may have —
+        the retry policy and circuit breaker branch on exactly this.
         """
         if isinstance(exc, urllib.error.HTTPError):
             return self._error_from_response(exc.code, exc.read())
         if isinstance(exc, urllib.error.URLError):
-            return TransportError(
-                f"Could not reach SeeSaw service at {self.base_url}: {exc.reason}"
+            reason = exc.reason
+            # Connect-phase failures (refused, no route, DNS) happen before
+            # a byte of the request leaves; anything past that is ambiguous
+            # and conservatively treated as sent.
+            connect_phase = isinstance(
+                reason, (ConnectionRefusedError, ConnectionResetError, socket.gaierror)
+            ) and not isinstance(reason, TimeoutError)
+            return ConnectionFailedError(
+                f"Could not reach SeeSaw service at {self.base_url}: {reason}",
+                request_sent=not connect_phase,
             )
-        return TransportError(
+        return ConnectionFailedError(
             f"Connection to SeeSaw service at {self.base_url} failed "
-            f"mid-request: {exc!r}"
+            f"mid-request: {exc!r}",
+            request_sent=True,
         )
 
     @staticmethod

@@ -28,10 +28,12 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.exceptions import (
+    DeadlineExceededError,
     IdempotencyConflictError,
     InternalServiceError,
     RateLimitedError,
     ReproError,
+    RetryableError,
     ServiceOverloadedError,
     SessionError,
     TransportError,
@@ -55,6 +57,9 @@ _SPECS: "tuple[tuple[type[BaseException], ErrorSpec], ...]" = (
     (IdempotencyConflictError, ErrorSpec(409, "idempotency_conflict", retryable=False)),
     (ServiceOverloadedError, ErrorSpec(503, "overloaded", retryable=True)),
     (UnknownResourceError, ErrorSpec(404, "not_found", retryable=False)),
+    # Not retryable *within the same call*: the caller's budget is spent.
+    # A fresh call carries a fresh deadline, which is the caller's decision.
+    (DeadlineExceededError, ErrorSpec(504, "deadline_exceeded", retryable=False)),
     (TransportError, ErrorSpec(400, "invalid_request", retryable=False)),
     # Session-state violations are request errors (the legacy family has
     # always answered them with 400; `/v1` keeps the status and adds the
@@ -93,6 +98,9 @@ def encode_error(
     merged: "dict[str, Any]" = {"type": type(exc).__name__}
     if request_id is not None:
         merged["request_id"] = request_id
+    retry_after = getattr(exc, "retry_after_seconds", None)
+    if retry_after is not None:
+        merged["retry_after_seconds"] = float(retry_after)
     if details:
         merged.update(details)
     return spec.status, {
@@ -119,7 +127,14 @@ def decode_error(status: int, payload: Any) -> ReproError:
     except Exception:
         return TransportError(f"Server returned HTTP {status}: {payload!r}")
     exc_type = _CODE_TO_TYPE.get(code, SessionError)
-    return exc_type(message)
+    exc = exc_type(message)
+    if isinstance(exc, RetryableError):
+        details = error.get("details")
+        if isinstance(details, Mapping):
+            hint = details.get("retry_after_seconds")
+            if isinstance(hint, (int, float)):
+                exc.retry_after_seconds = float(hint)
+    return exc
 
 
 def is_error_envelope(payload: Any) -> bool:

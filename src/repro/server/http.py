@@ -18,6 +18,7 @@ Typical embedded use::
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -166,6 +167,21 @@ class BackgroundServer:
             self._started = False
         self.server.server_close()
 
+    def drain(self, timeout_s: "float | None" = None) -> bool:
+        """Gracefully drain, then stop.
+
+        Drain order matters: ``/healthz`` flips to ``draining`` and new
+        sessions start failing with the typed 503 *first* (so load
+        balancers and clients route away), in-flight requests get up to
+        ``timeout_s`` (``config.drain_timeout_s`` by default) to finish,
+        and only then does the listener close.  Returns what
+        :meth:`SessionManager.drain` returned: ``True`` when nothing was
+        cut off.
+        """
+        drained = self.server.app.manager.drain(timeout_s)
+        self.stop()
+        return drained
+
     def __enter__(self) -> "BackgroundServer":
         return self.start()
 
@@ -183,11 +199,37 @@ def serve_in_background(
 def serve_forever(
     app: SeeSawApp, host: str = "127.0.0.1", port: int = 8000, quiet: bool = False
 ) -> None:
-    """Serve ``app`` on the calling thread until interrupted."""
+    """Serve ``app`` on the calling thread until interrupted.
+
+    SIGTERM (the orchestrator's stop signal) triggers a graceful drain:
+    ``/healthz`` flips to ``draining``, new sessions are rejected with the
+    typed 503, in-flight requests get ``config.drain_timeout_s`` to finish,
+    then the listener closes.  Ctrl-C (SIGINT/KeyboardInterrupt) stays an
+    immediate stop — interactive use should not wait out a drain window.
+    """
     server = SeeSawHTTPServer(app, host=host, port=port, quiet=quiet)
+
+    def _drain_and_stop() -> None:
+        app.manager.drain()
+        server.shutdown()
+
+    previous_handler = None
+
+    def _on_sigterm(signum: object, frame: object) -> None:  # pragma: no cover
+        # serve_forever blocks this (main) thread, and server.shutdown()
+        # deadlocks when called from the serving thread — so the drain runs
+        # on its own thread and the handler returns immediately.
+        threading.Thread(
+            target=_drain_and_stop, name="seesaw-drain", daemon=True
+        ).start()
+
+    if threading.current_thread() is threading.main_thread():
+        previous_handler = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive use
         pass
     finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
         server.server_close()

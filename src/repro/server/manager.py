@@ -44,6 +44,8 @@ from repro.exceptions import (
     UnknownResourceError,
 )
 from repro.obs import timed_acquire
+from repro.server.deadlines import check_deadline
+from repro.server.middleware import InFlightTracker
 from repro.server.api import (
     PROTOCOL_REVISION,
     PROTOCOL_VERSION,
@@ -88,6 +90,9 @@ class SessionManager:
         self.max_sessions = int(max_sessions)
         self.session_ttl_seconds = float(session_ttl_seconds)
         self._clock = clock
+        self._started_at = clock()
+        self._draining = threading.Event()
+        self._inflight_tracker: "InFlightTracker | None" = None
         self._registry_lock = threading.Lock()
         self._session_locks: dict[str, threading.Lock] = {}
         self._last_used: dict[str, float] = {}
@@ -104,11 +109,21 @@ class SessionManager:
             batch_window_ms = service.config.batch_window_ms
         self.batch_window_ms = float(batch_window_ms)
         self.max_batch_size = int(max_batch_size)
+        # The coalescer's waiter timeout is tied to the request deadline
+        # when one is configured: a waiter whose budget is N ms can never
+        # usefully outwait it, so the bound is the budget plus one second of
+        # grace (time for the leader to fail it typed first) instead of the
+        # historical hard-coded 60 s.
+        deadline_ms = service.config.request_deadline_ms
+        wait_timeout_seconds = (
+            max(1.0, deadline_ms / 1000.0 + 1.0) if deadline_ms > 0 else 60.0
+        )
         self._coalescer: "NextBatchCoalescer | None" = (
             NextBatchCoalescer(
                 self._dispatch_batch,
                 window_seconds=self.batch_window_ms / 1000.0,
                 max_batch_size=self.max_batch_size,
+                wait_timeout_seconds=wait_timeout_seconds,
                 registry=service.metrics,
             )
             if self.batch_window_ms > 0
@@ -149,6 +164,7 @@ class SessionManager:
         ``ensure_index`` so a malformed or 503-destined request never
         triggers (or waits on) an expensive index build.
         """
+        self._check_draining()
         self.service.validate_start_request(request)
         self.evict_expired()
         self._check_capacity()
@@ -160,6 +176,19 @@ class SessionManager:
             self._last_used[info.session_id] = self._clock()
             self._created_seq[info.session_id] = next(self._seq_counter)
             return info
+
+    def _check_draining(self) -> None:
+        if self._draining.is_set():
+            self.service.metrics.counter(
+                "seesaw_shed_total",
+                "Requests shed before processing, by reason.",
+                labels=("reason",),
+            ).labels("draining").inc()
+            raise ServiceOverloadedError(
+                "Service is draining and accepts no new sessions; "
+                "retry against another instance",
+                retry_after_seconds=self.service.config.drain_timeout_s,
+            )
 
     def _check_capacity(self) -> None:
         with self._registry_lock:
@@ -193,10 +222,15 @@ class SessionManager:
         and may be served as part of a fused cohort; the result (and any
         error) is indistinguishable from the sequential path.
         """
+        deadline = check_deadline("next-results dispatch")
         if self._coalescer is not None:
-            response = self._coalescer.submit(session_id, count)
+            response = self._coalescer.submit(session_id, count, deadline=deadline)
         else:
             with timed_acquire(self._lock_for(session_id)):
+                # Re-check after the lock wait: time queued behind another
+                # round is exactly the budget a dead request must not spend
+                # on an engine dispatch.
+                check_deadline("engine dispatch")
                 response = self.service.next_results(session_id, count)
         self._touch(session_id)
         return response
@@ -267,6 +301,7 @@ class SessionManager:
         :class:`IdempotencyConflictError` — silently answering a different
         request with the cached result would hide a client bug.
         """
+        check_deadline("feedback apply")
         with timed_acquire(self._lock_for(request.session_id)):
             if idempotency_key is not None:
                 fingerprint = self._feedback_fingerprint(request)
@@ -427,6 +462,51 @@ class SessionManager:
         with self._registry_lock:
             return len(self._session_locks)
 
+    # ------------------------------------------------------------------
+    # graceful drain
+    # ------------------------------------------------------------------
+    def attach_inflight_tracker(self, tracker: InFlightTracker) -> None:
+        """Register the app pipeline's in-flight tracker.
+
+        One tracker serves three consumers: admission control (the
+        middleware that owns it), ``/healthz`` (the live count below), and
+        :meth:`drain` (which waits for the count to reach zero).
+        """
+        self._inflight_tracker = tracker
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently inside the app pipeline (0 when untracked)."""
+        tracker = self._inflight_tracker
+        return tracker.count if tracker is not None else 0
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Flip to draining: ``/healthz`` reports it, new sessions get 503."""
+        self._draining.set()
+
+    def drain(self, timeout_s: "float | None" = None) -> bool:
+        """Stop accepting new sessions and wait out in-flight work.
+
+        Returns ``True`` when in-flight reached zero inside the budget
+        (``config.drain_timeout_s`` when not given), ``False`` when the
+        budget ran out first — the caller closes the listener either way;
+        the return value only says whether any request was cut off.
+        Idempotent and safe to call from a signal handler's thread.
+        """
+        self.begin_drain()
+        if timeout_s is None:
+            timeout_s = self.service.config.drain_timeout_s
+        deadline = time.monotonic() + float(timeout_s)
+        while self.in_flight > 0:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.01)
+        return True
+
     def capabilities(self) -> "dict[str, object]":
         """The payload ``GET /v1/capabilities`` returns.
 
@@ -453,6 +533,10 @@ class SessionManager:
                 "metrics_exposition": True,
                 "tracing": config.telemetry.enabled,
                 "graph_ann": config.ann_search,
+                "deadline_propagation": True,
+                "admission_control": config.max_in_flight > 0,
+                "graceful_drain": True,
+                "retry_hints": True,
             },
             "limits": {
                 "max_sessions": self.max_sessions,
@@ -463,6 +547,9 @@ class SessionManager:
                 "session_ttl_seconds": self.session_ttl_seconds,
                 "rate_limit_rps": config.rate_limit_rps,
                 "rate_limit_burst": config.rate_limit_burst,
+                "request_deadline_ms": config.request_deadline_ms,
+                "max_in_flight": config.max_in_flight,
+                "drain_timeout_s": config.drain_timeout_s,
             },
             "compute": {
                 "compute_dtype": config.compute_dtype,
@@ -502,8 +589,14 @@ class SessionManager:
             if self._coalescer is not None
             else {"batches_dispatched": 0, "requests_coalesced": 0, "largest_batch": 0}
         )
+        state = "draining" if self.draining else "serving"
         return {
-            "status": "ok",
+            # "status" predates the drain state and stays for byte-compat
+            # ("ok" while serving); "state" is the authoritative field.
+            "status": "ok" if state == "serving" else "draining",
+            "state": state,
+            "uptime_seconds": max(0.0, self._clock() - self._started_at),
+            "in_flight": self.in_flight,
             "datasets": list(self.service.dataset_names),
             "active_sessions": self.active_session_count,
             "max_sessions": self.max_sessions,

@@ -17,7 +17,18 @@ handlers and into a small composable pipeline that wraps the router:
   per-stage span breakdown when a request exceeds the configured threshold;
 * :class:`RateLimitMiddleware` — a per-client token bucket; a drained
   bucket raises :class:`~repro.exceptions.RateLimitedError`, which the app
-  encodes as the structured 429 envelope.
+  encodes as the structured 429 envelope (with a ``Retry-After`` refill
+  hint);
+* :class:`DeadlineMiddleware` — parses the ``X-Deadline-Ms`` budget header
+  (or applies the configured default) and binds the resulting
+  :class:`~repro.server.deadlines.Deadline` to the request context, so
+  every layer below can bound its waits and fail dead requests with the
+  typed 504 instead of finishing work nobody is waiting for;
+* :class:`AdmissionControlMiddleware` — a bounded in-flight gauge
+  (:class:`InFlightTracker`); past ``max_in_flight`` new work is shed with
+  a 503 + ``Retry-After`` *before* it queues, and sustained overload
+  triggers the service's graceful-degradation hook (graph-ANN ``ef``
+  lowered toward the configured floor) until load drains.
 
 Middlewares see the transport-agnostic :class:`Request`/:class:`Response`
 pair, so the pipeline runs identically under the HTTP transport and under
@@ -43,7 +54,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Sequence
 from urllib.parse import urlsplit
 
-from repro.exceptions import RateLimitedError
+from repro.exceptions import RateLimitedError, ServiceOverloadedError
+from repro.server.deadlines import (
+    DEADLINE_HEADER,
+    Deadline,
+    deadline_scope,
+    parse_deadline_header,
+)
 from repro.obs import (
     MetricsRegistry,
     begin_request_trace,
@@ -365,12 +382,173 @@ class RateLimitMiddleware:
                 # refill clock) survives the rejected request.
                 self._buckets[client_key] = [tokens, now]
                 self.rejected_requests += 1
+                # The limiter knows exactly when the next token lands, so
+                # the 429 carries a real refill time, not a guess — the app
+                # turns it into the Retry-After header and both clients
+                # surface it as ``exc.retry_after_seconds``.
                 retry_after = (1.0 - tokens) / self.rate_per_second
                 raise RateLimitedError(
                     f"Rate limit exceeded for client '{client_key}': "
                     f"{self.rate_per_second:g} requests/s sustained "
-                    f"(burst {self.burst}); retry in {retry_after:.2f}s"
+                    f"(burst {self.burst}); retry in {retry_after:.2f}s",
+                    retry_after_seconds=retry_after,
                 )
             self._buckets[client_key] = [tokens - 1.0, now]
             while len(self._buckets) > self.max_clients:
                 self._buckets.pop(next(iter(self._buckets)))
+
+
+class DeadlineMiddleware:
+    """Binds each request's deadline budget to the request context.
+
+    The budget comes from the client's ``X-Deadline-Ms`` header when
+    present, else from the configured server default (``0`` = none).  A
+    request that arrives already expired (a clock-skewed client shipping a
+    dead budget) is rejected here with the typed 504 before any routing or
+    session work happens; a malformed header is a 400.
+    """
+
+    HEADER = DEADLINE_HEADER
+
+    def __init__(self, default_deadline_ms: float = 0.0) -> None:
+        self.default_deadline_ms = float(default_deadline_ms)
+
+    def __call__(self, request: Request, handler: Handler) -> Response:
+        raw = request.header(self.HEADER)
+        if raw is not None:
+            deadline = parse_deadline_header(raw)
+        elif self.default_deadline_ms > 0.0:
+            deadline = Deadline(self.default_deadline_ms)
+        else:
+            return handler(request)
+        with deadline_scope(deadline):
+            deadline.check("routing")
+            return handler(request)
+
+
+class InFlightTracker:
+    """The service's bounded in-flight gauge.
+
+    One instance is shared by three consumers: the
+    :class:`AdmissionControlMiddleware` (admit or shed), ``/healthz`` (the
+    current count), and the graceful-degradation hook (``on_overload`` fires
+    with ``True`` when a request is shed at the bound and with ``False``
+    once in-flight drains back to ``resume_fraction`` of the limit — the
+    hysteresis keeps the service from flapping between full-quality and
+    degraded search on every admit/release).
+    """
+
+    def __init__(
+        self,
+        limit: int = 0,
+        on_overload: "Callable[[bool], None] | None" = None,
+        resume_fraction: float = 0.5,
+    ) -> None:
+        self.limit = int(limit)
+        self.on_overload = on_overload
+        self._resume_below = max(1.0, self.limit * float(resume_fraction))
+        self._lock = threading.Lock()
+        self._count = 0
+        self._overloaded = False
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def overloaded(self) -> bool:
+        return self._overloaded
+
+    def try_enter(self) -> bool:
+        """Admit one request, or refuse (and mark overload) at the bound."""
+        fire: "bool | None" = None
+        with self._lock:
+            if 0 < self.limit <= self._count:
+                if not self._overloaded:
+                    self._overloaded = True
+                    fire = True
+                admitted = False
+            else:
+                self._count += 1
+                admitted = True
+        if fire is not None and self.on_overload is not None:
+            self.on_overload(fire)
+        return admitted
+
+    def release(self) -> None:
+        fire: "bool | None" = None
+        with self._lock:
+            self._count = max(0, self._count - 1)
+            if self._overloaded and self._count <= self._resume_below:
+                self._overloaded = False
+                fire = False
+        if fire is not None and self.on_overload is not None:
+            self.on_overload(fire)
+
+
+class AdmissionControlMiddleware:
+    """Sheds load with a cheap 503 before queueing collapse.
+
+    Every request an unbounded server accepts past its concurrency knee
+    still costs a thread, a coalescer slot, and queue time that inflates
+    everyone else's latency; rejecting at the door costs one envelope.
+    Health, capabilities and metrics stay exempt — overload is exactly when
+    operators need them.
+
+    The 503 carries ``Retry-After: retry_after_hint_s`` — a deliberate
+    flat hint (the shedder cannot know when load will drain the way the
+    rate limiter knows its refill time) that still gives well-behaved
+    clients a jitter anchor better than hammering.
+    """
+
+    EXEMPT_ROUTES = frozenset(
+        {
+            "/healthz",
+            "/capabilities",
+            "/metrics",
+            "/v1/healthz",
+            "/v1/capabilities",
+            "/v1/metrics",
+        }
+    )
+
+    def __init__(
+        self,
+        tracker: InFlightTracker,
+        registry: "MetricsRegistry | None" = None,
+        retry_after_hint_s: float = 1.0,
+    ) -> None:
+        self.tracker = tracker
+        self._registry = registry
+        self.retry_after_hint_s = float(retry_after_hint_s)
+        self.shed_requests = 0
+        self.registry.gauge(
+            "seesaw_in_flight",
+            "Requests currently being processed (admission-control gauge).",
+            callback=lambda: float(tracker.count),
+        )
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def __call__(self, request: Request, handler: Handler) -> Response:
+        if route_template(request.target) in self.EXEMPT_ROUTES:
+            return handler(request)
+        if not self.tracker.try_enter():
+            self.shed_requests += 1
+            self.registry.counter(
+                "seesaw_shed_total",
+                "Requests shed before processing, by reason.",
+                labels=("reason",),
+            ).labels("in_flight").inc()
+            raise ServiceOverloadedError(
+                f"Service is at its in-flight limit "
+                f"({self.tracker.limit} requests); shedding to protect "
+                f"latency of admitted work",
+                retry_after_seconds=self.retry_after_hint_s,
+            )
+        try:
+            return handler(request)
+        finally:
+            self.tracker.release()

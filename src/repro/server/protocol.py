@@ -19,7 +19,7 @@ in-process, deploy against HTTP" safe.
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence, TypeVar
 
 from repro.exceptions import ReproError
 from repro.server.api import (
@@ -33,6 +33,11 @@ from repro.server.api import (
 )
 from repro.server.codec import validate_count
 from repro.server.manager import SessionManager
+
+if TYPE_CHECKING:
+    from repro.server.retry import RetryPolicy
+
+_T = TypeVar("_T")
 
 
 class SeeSawClientProtocol(abc.ABC):
@@ -149,44 +154,76 @@ class InProcessClient(SeeSawClientProtocol):
     Mirrors the `/v1` boundary exactly — including the request validation
     the app layer performs — so swapping it for an
     :class:`~repro.server.client.HTTPClient` changes latency, never
-    behaviour.
+    behaviour.  That includes the resilience layer: with a
+    ``retry_policy``, retryable rejections (429/503) back off and retry
+    exactly as the HTTP client would (there is no transport here, so the
+    breaker and connection-failure branches simply never fire), and calls
+    wrapped in :func:`~repro.server.deadlines.deadline_scope` are deadline-
+    checked by the manager through the shared contextvar.
     """
 
-    def __init__(self, manager: SessionManager) -> None:
+    def __init__(
+        self,
+        manager: SessionManager,
+        retry_policy: "RetryPolicy | None" = None,
+    ) -> None:
         self.manager = manager
+        self.retry_policy = retry_policy
+
+    def _call(
+        self, fn: "Callable[[], _T]", idempotent: bool, operation: str
+    ) -> _T:
+        if self.retry_policy is None:
+            return fn()
+        return self.retry_policy.call(fn, idempotent=idempotent, operation=operation)
 
     def capabilities(self) -> "dict[str, Any]":
-        return self.manager.capabilities()
+        return self._call(self.manager.capabilities, True, "capabilities")
 
     def healthz(self) -> "dict[str, Any]":
-        return self.manager.health()
+        return self._call(self.manager.health, True, "healthz")
 
     def metrics_json(self) -> "dict[str, Any]":
-        return self.manager.metrics_json()
+        return self._call(self.manager.metrics_json, True, "metrics")
 
     def metrics_text(self) -> str:
-        return self.manager.metrics_text()
+        return self._call(self.manager.metrics_text, True, "metrics")
 
     def start_session(self, request: StartSessionRequest) -> SessionInfo:
-        return self.manager.start_session(request)
+        # Not idempotent: a replay after an ambiguous failure could orphan
+        # a second session.  (In-process there is no ambiguous failure, but
+        # the contract must match the HTTP client exactly.)
+        return self._call(
+            lambda: self.manager.start_session(request), False, "start_session"
+        )
 
     def session_info(self, session_id: str) -> SessionInfo:
-        return self.manager.session_info(session_id)
+        return self._call(
+            lambda: self.manager.session_info(session_id), True, "session_info"
+        )
 
     def list_sessions(
         self, cursor: "str | None" = None, limit: "int | None" = None
     ) -> SessionPage:
-        return self.manager.list_sessions(cursor=cursor, limit=limit)
+        return self._call(
+            lambda: self.manager.list_sessions(cursor=cursor, limit=limit),
+            True,
+            "list_sessions",
+        )
 
     def close_session(self, session_id: str) -> None:
-        self.manager.close_session(session_id)
+        self._call(lambda: self.manager.close_session(session_id), True, "close_session")
 
     def next_results(
         self, session_id: str, count: "int | None" = None
     ) -> NextResultsResponse:
         if count is not None:
             validate_count(count)
-        return self.manager.next_results(session_id, count)
+        # Not idempotent: /next advances the session cursor, so a blind
+        # replay would silently skip a batch.
+        return self._call(
+            lambda: self.manager.next_results(session_id, count), False, "next"
+        )
 
     def stream_next_results(
         self, session_id: str, count: "int | None" = None
@@ -202,9 +239,19 @@ class InProcessClient(SeeSawClientProtocol):
         for _, count in requests:
             if count is not None:
                 validate_count(count)
-        return self.manager.batch_next(requests)
+        return self._call(
+            lambda: self.manager.batch_next(requests), False, "batch_next"
+        )
 
     def give_feedback(
         self, request: FeedbackRequest, idempotency_key: "str | None" = None
     ) -> SessionInfo:
-        return self.manager.give_feedback(request, idempotency_key=idempotency_key)
+        # Only safe to retry when the caller supplied an idempotency key —
+        # the manager then dedupes the replay server-side.
+        return self._call(
+            lambda: self.manager.give_feedback(
+                request, idempotency_key=idempotency_key
+            ),
+            idempotency_key is not None,
+            "feedback",
+        )

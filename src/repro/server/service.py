@@ -53,6 +53,7 @@ class SeeSawService:
         self._session_counter = itertools.count(1)
         self.cache_hits = 0
         self.cache_misses = 0
+        self._overload_degraded = False
         # Builds for *different* datasets can run concurrently under the
         # SessionManager's per-dataset locks, so the shared counters need
         # their own guard.
@@ -220,6 +221,55 @@ class SeeSawService:
             index.replace_store(
                 ShardedVectorStore.wrap(index.store, self.config.n_shards)
             )
+        # An index built while the service is already overloaded starts at
+        # the degraded beam, not the configured one.
+        if self._overload_degraded:
+            self._set_graph_ef(index, self._degraded_ef())
+
+    # ------------------------------------------------------------------
+    # graceful degradation under overload
+    # ------------------------------------------------------------------
+    def set_overload_degraded(self, degraded: bool) -> None:
+        """Trade graph-ANN recall for latency while the service is overloaded.
+
+        The admission tracker fires this on overload *transitions* (shedding
+        began / in-flight drained back down).  Degradation lowers every
+        graph store's beam width (``ef``) to the configured
+        ``overload_ef_floor`` — each admitted query then walks a shorter
+        descent, which drains the backlog faster; recovery restores the
+        configured ``ann_ef``.  The write is one int attribute per graph
+        store, read per search, so flipping costs nothing on the hot path.
+        Exhaustive and quantized tiers have no quality knob to turn and are
+        left alone.
+        """
+        degraded = bool(degraded)
+        if degraded == self._overload_degraded:
+            return
+        self._overload_degraded = degraded
+        target_ef = self._degraded_ef() if degraded else self.config.ann_ef
+        for index in self._indexes.values():
+            self._set_graph_ef(index, target_ef)
+        self.metrics.gauge(
+            "seesaw_overload_degraded",
+            "1 while overload has the graph-ANN beam lowered to the floor.",
+        ).set(1.0 if degraded else 0.0)
+
+    @property
+    def overload_degraded(self) -> bool:
+        return self._overload_degraded
+
+    def _degraded_ef(self) -> int:
+        return min(self.config.ann_ef, self.config.overload_ef_floor)
+
+    @staticmethod
+    def _set_graph_ef(index: SeeSawIndex, ef: int) -> None:
+        store = index.store
+        stores = (
+            store.shard_stores if isinstance(store, ShardedVectorStore) else (store,)
+        )
+        for inner in stores:
+            if isinstance(inner, GraphANNVectorStore):
+                inner.ef = int(ef)
 
     @property
     def cached_engine_count(self) -> int:

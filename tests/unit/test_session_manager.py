@@ -377,6 +377,59 @@ class TestEvictionTouchRace:
         assert info.session_id in service.session_ids
         assert manager.active_session_count == 1
 
+    def test_ttl_eviction_races_inflight_next(self, service, monkeypatch):
+        """Eviction must wait behind an in-flight round, never rip it out.
+
+        The session expired on the clock while a ``next`` round was already
+        executing under its session lock: the evictor pops the registry
+        entries but the service-side close blocks on that lock, so the
+        round finishes against a live session and only then is it retired
+        — no half-deleted session, no error surfaced to the in-flight
+        caller.
+        """
+        clock = FakeClock()
+        manager = SessionManager(service, session_ttl_seconds=50.0, clock=clock)
+        info = manager.start_session(start_request())
+        entered = threading.Event()
+        release = threading.Event()
+        original = type(service).next_results
+
+        def slow_next(self, session_id, count=None):
+            entered.set()
+            assert release.wait(timeout=10.0)
+            return original(self, session_id, count)
+
+        monkeypatch.setattr(type(service), "next_results", slow_next)
+        round_outcome: list[object] = []
+        request_thread = threading.Thread(
+            target=lambda: round_outcome.append(manager.next_results(info.session_id))
+        )
+        request_thread.start()
+        assert entered.wait(timeout=10.0)
+        # The session expires while the round is mid-flight.
+        clock.advance(51.0)
+        evicted: list[list[str]] = []
+        evict_thread = threading.Thread(
+            target=lambda: evicted.append(manager.evict_expired())
+        )
+        evict_thread.start()
+        # The evictor is stuck behind the in-flight round's session lock.
+        evict_thread.join(timeout=0.2)
+        assert evict_thread.is_alive()
+        release.set()
+        request_thread.join(timeout=10.0)
+        evict_thread.join(timeout=10.0)
+        assert not evict_thread.is_alive()
+        # The in-flight round completed normally against a live session...
+        assert round_outcome and len(round_outcome[0].items) == 2
+        # ...the eviction then owned the retirement exactly once...
+        assert evicted == [[info.session_id]]
+        # ...and nothing of the session survives anywhere.
+        assert manager.active_session_count == 0
+        assert info.session_id not in service.session_ids
+        assert info.session_id not in manager._session_locks
+        assert info.session_id not in manager._last_used
+
 
 class TestExplicitBatchChunking:
     def test_batch_next_is_chunked_by_max_batch_size(self, service):
