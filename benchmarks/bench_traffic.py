@@ -69,6 +69,44 @@ def test_traffic_scenario_gates(
     assert_tail_gates(summary, scenario.gates)
 
 
+def test_traffic_live_ingest_gates(
+    benchmark,
+    live_traffic_server,
+    traffic_categories,
+    traffic_queries,
+    results_dir,
+    save_report,
+):
+    """Live-ingest row: queries racing upserts across forced merge swaps.
+
+    A fifth of the arrivals upsert fresh images into the live delta
+    segment while the rest keep querying, and two forced merges rebuild
+    and atomically swap the sealed generation mid-run.  The gates assert
+    the mutable tier's zero-downtime contract: the only tolerated error
+    is the delta-cap 503 (typed backpressure when ingest outruns
+    merging); a query failing mid-swap or a stale-generation crash is
+    exactly what trips the unexpected-errors gate.
+    """
+    scenario = _bench_scenario("live_ingest")
+    client = HTTPClient(live_traffic_server.url, client_id="bench-traffic-live")
+    summary = benchmark.pedantic(
+        lambda: run_and_report(
+            client,
+            scenario,
+            dataset="bdd",
+            queries=traffic_queries,
+            results_dir=results_dir,
+            transport="http",
+            mutation_categories=traffic_categories,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("traffic_live_ingest", _format(summary))
+    assert summary.unexpected_errors == 0, summary.error_taxonomy
+    assert_tail_gates(summary, scenario.gates)
+
+
 def test_traffic_chaos_gates(
     benchmark, traffic_server, traffic_queries, results_dir, save_report
 ):

@@ -71,6 +71,28 @@ def traffic_queries(bundles, scale) -> "tuple[str, ...]":
 
 
 @pytest.fixture(scope="session")
+def live_traffic_server(bundles):
+    """A separate HTTP server with the mutable dataset tier enabled.
+
+    The live-ingest scenario upserts into (and force-merges) its bdd
+    dataset, so it gets its own service instead of mutating the read-only
+    ``traffic_server`` the other scenarios share.
+    """
+    bundle = bundles["bdd"]
+    service = SeeSawService(bundle.config.with_overrides(live_datasets=True))
+    service.register_dataset(bundle.dataset, bundle.embedding, preprocess=True)
+    with serve_in_background(SeeSawApp(SessionManager(service))) as server:
+        yield server
+    service.live.close()
+
+
+@pytest.fixture(scope="session")
+def traffic_categories(bundles) -> "tuple[str, ...]":
+    """The bdd category catalog — the pool live-ingest upserts draw from."""
+    return tuple(info.name for info in bundles["bdd"].dataset.categories)
+
+
+@pytest.fixture(scope="session")
 def save_report():
     """Write a benchmark's text report under benchmarks/results/."""
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -13,7 +13,9 @@ historically flushed out serving bugs: steady arrivals, bursts (queueing
 collapse and window-latency waste), session churn (registry lock pressure),
 mixed next/stream/info ratios, slow-drip streaming consumers (keep-alive
 and chunked-writer behaviour), adversarial feedback replays (idempotency
-under concurrency), rate-limit storms (the 429 path under fire), and the
+under concurrency), rate-limit storms (the 429 path under fire),
+live-ingest runs (queries racing dataset upserts across forced segment-merge
+swaps — the mutable tier's zero-downtime proof), and the
 ``chaos`` scenario — a windowed fault-injection run (injected latency,
 typed 500s, connection resets, truncated streams, skewed deadlines) whose
 gates assert the resilience layer fails *typed* and recovers after the
@@ -39,7 +41,9 @@ class OpMix:
     ``/next`` plus feedback for every shown item), ``stream`` consumes the
     batch through the NDJSON streaming surface, ``feedback_replay`` is the
     adversarial idempotency workload, ``churn`` closes and restarts the
-    session, and ``info`` is a cheap read (``GET /sessions/{id}``).
+    session, ``info`` is a cheap read (``GET /sessions/{id}``), and
+    ``mutate`` upserts a fresh image into the live dataset tier
+    (``POST /datasets/{name}/upsert``).
     """
 
     next_results: float = 1.0
@@ -47,6 +51,7 @@ class OpMix:
     feedback_replay: float = 0.0
     churn: float = 0.0
     info: float = 0.0
+    mutate: float = 0.0
 
     def __post_init__(self) -> None:
         weights = dataclasses.asdict(self)
@@ -64,6 +69,7 @@ class OpMix:
             ("replay", self.feedback_replay),
             ("churn", self.churn),
             ("info", self.info),
+            ("mutate", self.mutate),
         )
         return tuple((name, weight) for name, weight in pairs if weight > 0)
 
@@ -174,6 +180,13 @@ class TrafficScenario:
     client in :class:`~repro.faults.client.FaultyClient` (armed at the
     run's t0, so the plan's window offsets line up with arrival offsets)
     and every injected failure must land in ``expected_errors``."""
+    forced_merges: int = 0
+    """How many segment merges to force at evenly spaced offsets during the
+    run (``POST /datasets/{name}/merge`` from a background thread).  The
+    live-ingest workload uses this to prove generation swaps are invisible
+    to in-flight traffic: merge errors land in the taxonomy and trip the
+    unexpected-errors gate, but the merges are non-primary so their build
+    latency never skews the query tail."""
     gates: TailGates = field(default_factory=lambda: TailGates(p99_ms=500.0))
 
     def __post_init__(self) -> None:
@@ -191,6 +204,10 @@ class TrafficScenario:
             raise BenchmarkError(f"drip_seconds must be >= 0, got {self.drip_seconds}")
         if self.max_inflight < 1:
             raise BenchmarkError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.forced_merges < 0:
+            raise BenchmarkError(
+                f"forced_merges must be >= 0, got {self.forced_merges}"
+            )
 
     def scaled(
         self,
@@ -312,6 +329,23 @@ SCENARIO_PACK: "tuple[TrafficScenario, ...]" = (
             "UnknownResourceError",
         ),
         gates=TailGates(p99_ms=800.0, min_achieved_ratio=0.2),
+    ),
+    TrafficScenario(
+        name="live_ingest",
+        description=(
+            "Queries racing live upserts with forced segment merges mid-run "
+            "— the zero-downtime proof for the mutable dataset tier."
+        ),
+        duration_seconds=6.0,
+        rate_rps=20.0,
+        mix=OpMix(next_results=0.7, info=0.1, mutate=0.2),
+        forced_merges=2,
+        # The delta cap backpressures writers with a typed 503 when ingest
+        # outruns merging — that is the intended shedding path.  Anything
+        # else (a query failing mid-swap, a stale-generation crash) is
+        # exactly what this scenario exists to catch.
+        expected_errors=("ServiceOverloadedError",),
+        gates=TailGates(p99_ms=800.0, p999_ms=2000.0, min_achieved_ratio=0.5),
     ),
     TrafficScenario(
         name="chaos",

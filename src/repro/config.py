@@ -320,6 +320,27 @@ class SeeSawConfig:
     from the plan's seed.  ``None`` (the default) injects nothing — the
     knob exists for chaos testing, never for production serving.  Runtime
     knob, excluded from the cache key."""
+    live_datasets: bool = False
+    """Enable the mutable dataset tier (:mod:`repro.live`): the
+    ``/v1/datasets`` upsert/delete/merge routes, the writable delta segment
+    over each sealed base index, and background compaction.  Off (the
+    default) every registered dataset stays the immutable build-once
+    artifact and mutation requests fail with a typed 400.  Runtime knob,
+    excluded from the cache key (delta state is never part of a sealed
+    artifact)."""
+    delta_max_rows: int = 4096
+    """Hard ceiling on the writable delta segment's row count.  A mutation
+    that would push the live view past this many unsealed vectors triggers
+    a background merge; mutations arriving while the delta is full and a
+    merge is still running are rejected with a retryable 503 — bounded
+    memory beats unbounded ingest.  Runtime knob, excluded from the cache
+    key."""
+    merge_trigger_ratio: float = 0.25
+    """Background-merge trigger as a fraction of the sealed base segment:
+    once ``delta rows >= merge_trigger_ratio * base rows`` the
+    :class:`~repro.live.merger.SegmentMerger` schedules a compaction off
+    the request path.  ``delta_max_rows`` still applies as the absolute
+    bound for small bases.  Runtime knob, excluded from the cache key."""
 
     def __post_init__(self) -> None:
         if self.embedding_dim < 2:
@@ -392,6 +413,14 @@ class SeeSawConfig:
             raise ConfigurationError(
                 f"drain_timeout_s must be >= 0, got {self.drain_timeout_s}"
             )
+        if self.delta_max_rows < 1:
+            raise ConfigurationError(
+                f"delta_max_rows must be >= 1, got {self.delta_max_rows}"
+            )
+        if self.merge_trigger_ratio <= 0:
+            raise ConfigurationError(
+                f"merge_trigger_ratio must be > 0, got {self.merge_trigger_ratio}"
+            )
 
     def with_overrides(self, **overrides: Any) -> "SeeSawConfig":
         """Return a copy with the given top-level fields replaced."""
@@ -460,6 +489,9 @@ class SeeSawConfig:
             "retry_max_attempts": self.retry_max_attempts,
             "drain_timeout_s": self.drain_timeout_s,
             "faults": self.faults is not None and self.faults.any_faults,
+            "live_datasets": self.live_datasets,
+            "delta_max_rows": self.delta_max_rows,
+            "merge_trigger_ratio": self.merge_trigger_ratio,
         }
 
 

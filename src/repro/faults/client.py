@@ -217,5 +217,25 @@ class FaultyClient(SeeSawClientProtocol):
             lambda: self.inner.give_feedback(request, idempotency_key=idempotency_key)
         )
 
+    # -- live datasets (faulted like any other mutating surface) --------
+    def list_datasets(self) -> "list[dict[str, Any]]":
+        return self._call(self.inner.list_datasets)
+
+    def describe_dataset(self, name: str) -> "dict[str, Any]":
+        return self._call(lambda: self.inner.describe_dataset(name))
+
+    def upsert_images(
+        self, name: str, images: "Sequence[Any]"
+    ) -> "dict[str, Any]":
+        return self._call(lambda: self.inner.upsert_images(name, images))
+
+    def delete_images(
+        self, name: str, image_ids: "Sequence[int]"
+    ) -> "dict[str, Any]":
+        return self._call(lambda: self.inner.delete_images(name, image_ids))
+
+    def merge_dataset(self, name: str) -> "dict[str, Any]":
+        return self._call(lambda: self.inner.merge_dataset(name))
+
     def close(self) -> None:
         self.inner.close()

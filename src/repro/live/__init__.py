@@ -1,0 +1,35 @@
+"""Live datasets: the LSM-style mutable tier over sealed vector stores.
+
+Three pieces compose the tier (ROADMAP: "Live datasets: streaming ingest,
+delta segments, and a versioned registry"):
+
+* :class:`~repro.live.delta.DeltaVectorStore` — a writable delta segment
+  (appended unit rows + tombstones) merged with the sealed base through the
+  existing ``deterministic_top_k`` rule, keeping live results bit-identical
+  to a from-scratch rebuild;
+* :class:`~repro.live.merger.SegmentMerger` — background compaction of
+  base+delta into a new sealed cache entry, atomically swapped in with
+  zero downtime;
+* :class:`~repro.live.registry.DatasetRegistry` — versioned manifests,
+  generation tracking, and the ``dataset_version`` session pin.
+
+See ``docs/datasets.md`` for the manifest schema and merge lifecycle.
+"""
+
+from repro.live.delta import DeltaVectorStore
+from repro.live.merger import SegmentMerger
+from repro.live.registry import (
+    MANIFEST_FORMAT,
+    RETAINED_GENERATIONS,
+    DatasetRegistry,
+    LiveDatasetState,
+)
+
+__all__ = [
+    "DeltaVectorStore",
+    "SegmentMerger",
+    "DatasetRegistry",
+    "LiveDatasetState",
+    "MANIFEST_FORMAT",
+    "RETAINED_GENERATIONS",
+]

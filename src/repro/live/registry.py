@@ -1,0 +1,549 @@
+"""Versioned dataset registry: the control plane of the mutable tier.
+
+Every registered dataset gets a :class:`LiveDatasetState` — the sealed base
+index, the writable delta (rows, records, tombstones), the canonical image
+ordering, and a mutation journal — plus a monotonically increasing
+*version* (one per logical mutation) and *generation* (one per physical
+swap, so a compaction that changes no logical content still advances it).
+``register_dataset`` publishes version 1; every upsert/delete publishes the
+next version; sessions may pin any retained version and get bit-stable
+results for that exact corpus.
+
+The canonical ordering is the bit-identity linchpin: surviving base images
+keep their base order, images added (or re-added by an upsert) go to the
+*end*, in mutation order.  A from-scratch rebuild of the merged dataset
+then assigns every image the same row the live view gives it, so pooled
+scores, tie-breaks, and result order match bit for bit.
+
+Manifests are JSON files under ``<index_cache_dir>/registry/`` written with
+:func:`repro.store.serialize.write_json_atomic` (fsync + atomic replace): a
+crash mid-publish leaves the previous manifest, never a half-written one.
+Cache keys named by a manifest are *pinned* — the index cache's LRU sweep
+never evicts them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.config import MultiscaleConfig, SeeSawConfig
+from repro.core.indexing import IndexBuildReport, SeeSawIndex
+from repro.core.multiscale import generate_patches
+from repro.data.dataset import ImageDataset
+from repro.data.image import SyntheticImage
+from repro.exceptions import (
+    ServiceOverloadedError,
+    SessionError,
+    UnknownResourceError,
+)
+from repro.live.delta import DeltaVectorStore
+from repro.store.serialize import write_json_atomic
+from repro.vectorstore.base import VectorRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.service import SeeSawService
+
+MANIFEST_FORMAT = 1
+"""Bumped when the manifest schema changes."""
+
+RETAINED_GENERATIONS = 8
+"""How many past versions stay pinnable per dataset.  Old in-memory indexes
+are dropped beyond this window (a pin to an expired version fails with a
+typed 404), which bounds memory across an unbounded mutation stream."""
+
+
+class LiveDatasetState:
+    """Everything mutable about one registered dataset.
+
+    All fields are guarded by ``lock`` except ``current`` — the live index
+    reference — which is swapped by one dict/attribute assignment so query
+    paths read it without taking the lock (in-flight sessions keep whatever
+    index object they started on; that is the zero-downtime contract).
+    """
+
+    def __init__(self, name: str, config: SeeSawConfig) -> None:
+        self.name = name
+        self.config = config
+        self.lock = threading.RLock()
+        self.merge_lock = threading.Lock()
+        self.version = 1
+        self.generation = 1
+        self.mutation_seq = 0
+        self.categories: "tuple" = ()
+        self.description = ""
+        self.base_index: "SeeSawIndex | None" = None
+        self.base_cache_key: "str | None" = None
+        self.current: "SeeSawIndex | None" = None
+        self.images: "OrderedDict[int, SyntheticImage]" = OrderedDict()
+        self.image_vector_ids: "OrderedDict[int, tuple[int, ...]]" = OrderedDict()
+        self.delta_vectors: "list[np.ndarray]" = []
+        self.delta_records: "list[VectorRecord]" = []
+        self.tombstoned: "set[int]" = set()
+        self.journal: "list[tuple[int, str, object]]" = []
+        self.generations: "OrderedDict[int, SeeSawIndex]" = OrderedDict()
+        self.merge_inflight = False
+        self.merges_completed = 0
+
+    @property
+    def delta_rows(self) -> int:
+        return len(self.delta_records)
+
+    @property
+    def has_delta(self) -> bool:
+        return bool(self.delta_records) or bool(self.tombstoned)
+
+    def merged_dataset(self) -> ImageDataset:
+        """The current logical corpus, in canonical (row-stable) order."""
+        return ImageDataset(
+            name=self.name,
+            images=list(self.images.values()),
+            categories=self.categories,
+            description=self.description,
+        )
+
+    def retain(self, index: SeeSawIndex) -> None:
+        """Remember ``index`` as the pinnable view of the current version."""
+        self.generations[self.version] = index
+        self.generations.move_to_end(self.version)
+        while len(self.generations) > RETAINED_GENERATIONS:
+            self.generations.popitem(last=False)
+
+
+class DatasetRegistry:
+    """Owns the live state, versions, and manifests of every dataset."""
+
+    def __init__(self, service: "SeeSawService") -> None:
+        self.service = service
+        self._states: "dict[str, LiveDatasetState]" = {}
+        self._states_lock = threading.Lock()
+        metrics = service.metrics
+        self._merges_total = metrics.counter(
+            "seesaw_merges_total",
+            "Completed delta-segment compactions, by dataset.",
+            labels=("dataset",),
+        )
+        self._merge_seconds = metrics.histogram(
+            "seesaw_merge_seconds",
+            "Wall-clock duration of one background segment merge.",
+        )
+        metrics.gauge(
+            "seesaw_delta_rows",
+            "Unsealed delta rows across all live datasets.",
+            callback=lambda: float(self.delta_rows_total()),
+        )
+        # Imported here to avoid a cycle (merger drives registry internals).
+        from repro.live.merger import SegmentMerger
+
+        self.merger = SegmentMerger(self)
+
+    # ------------------------------------------------------------------
+    # configuration helpers
+    # ------------------------------------------------------------------
+    def _live_config(self) -> SeeSawConfig:
+        """The config the multiscale base index is built with.
+
+        Must match ``SeeSawService.index_for(..., multiscale=True)`` exactly
+        or the registry's cache keys would diverge from the entries the
+        service loads.
+        """
+        return self.service.config.with_overrides(
+            multiscale=MultiscaleConfig(enabled=True)
+        )
+
+    def _manifest_dir(self) -> "Path | None":
+        cache_dir = self.service.config.index_cache_dir
+        if cache_dir is None:
+            return None
+        return Path(cache_dir) / "registry"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def publish(self, dataset: ImageDataset) -> LiveDatasetState:
+        """Publish version 1 of ``dataset`` (re-registering resets lineage)."""
+        state = LiveDatasetState(dataset.name, self._live_config())
+        state.categories = tuple(dataset.categories)
+        state.description = dataset.description
+        for image in dataset.images:
+            state.images[image.image_id] = image
+        with self._states_lock:
+            self._states[dataset.name] = state
+        self._persist_manifest(state)
+        return state
+
+    def forget(self, name: str) -> None:
+        with self._states_lock:
+            self._states.pop(name, None)
+
+    def state_for(self, name: str) -> LiveDatasetState:
+        with self._states_lock:
+            state = self._states.get(name)
+        if state is None:
+            raise UnknownResourceError(f"Dataset '{name}' is not registered")
+        return state
+
+    def _ensure_base(self, state: LiveDatasetState) -> SeeSawIndex:
+        """Adopt the sealed multiscale index as the state's base (lazy).
+
+        The service may register with ``preprocess=False``; the first
+        mutation or version lookup then pays the build (or cache load) the
+        eager path would have paid at registration.
+        """
+        if state.base_index is None:
+            index = self.service.index_for(state.name, multiscale=True)
+            self._adopt_base(state, index)
+            state.retain(index)
+        assert state.base_index is not None
+        return state.base_index
+
+    def _adopt_base(self, state: LiveDatasetState, index: SeeSawIndex) -> None:
+        """Reset the delta state onto a freshly sealed base index."""
+        state.base_index = index
+        state.current = index
+        state.images = OrderedDict(
+            (image.image_id, image) for image in index.dataset.images
+        )
+        state.image_vector_ids = OrderedDict(
+            (image_id, index.vector_ids_for_image(image_id))
+            for image_id in index.image_ids
+        )
+        state.delta_vectors = []
+        state.delta_records = []
+        state.tombstoned = set()
+        state.journal = []
+        cache = self.service._caches.get(state.name)
+        if cache is not None:
+            state.base_cache_key = cache.key(
+                index.dataset, index.embedding, state.config
+            )
+        else:
+            state.base_cache_key = None
+
+    def warm(self, name: str) -> None:
+        """Adopt the already-built sealed index now (eager-register path)."""
+        state = self.state_for(name)
+        with state.lock:
+            self._ensure_base(state)
+        self._persist_manifest(state)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def dataset_names(self) -> "tuple[str, ...]":
+        with self._states_lock:
+            return tuple(self._states)
+
+    def versions(self) -> "dict[str, int]":
+        """Current version per dataset (``/v1/capabilities``)."""
+        with self._states_lock:
+            states = list(self._states.values())
+        return {state.name: state.version for state in states}
+
+    def dataset_generations(self) -> "dict[str, int]":
+        """Current physical generation per dataset (``/healthz``)."""
+        with self._states_lock:
+            states = list(self._states.values())
+        return {state.name: state.generation for state in states}
+
+    def delta_rows_total(self) -> int:
+        with self._states_lock:
+            states = list(self._states.values())
+        return sum(state.delta_rows for state in states)
+
+    def manifest(self, state: LiveDatasetState) -> "dict[str, object]":
+        """The JSON-safe manifest describing one dataset's current version."""
+        with state.lock:
+            return {
+                "format": MANIFEST_FORMAT,
+                "name": state.name,
+                "version": state.version,
+                "generation": state.generation,
+                "image_count": len(state.images),
+                "delta_rows": state.delta_rows,
+                "tombstones": len(state.tombstoned),
+                "merges_completed": state.merges_completed,
+                "cache_key": state.base_cache_key,
+                "retained_versions": sorted(state.generations),
+            }
+
+    def describe(self, name: str) -> "dict[str, object]":
+        return self.manifest(self.state_for(name))
+
+    def list_datasets(self) -> "list[dict[str, object]]":
+        with self._states_lock:
+            states = list(self._states.values())
+        return [self.manifest(state) for state in states]
+
+    def pinned_cache_keys(self) -> "set[str]":
+        """Cache keys a live manifest still points at (never evictable)."""
+        with self._states_lock:
+            states = list(self._states.values())
+        return {
+            state.base_cache_key
+            for state in states
+            if state.base_cache_key is not None
+        }
+
+    def _persist_manifest(self, state: LiveDatasetState) -> None:
+        directory = self._manifest_dir()
+        if directory is None:
+            return
+        write_json_atomic(directory / f"{state.name}.json", self.manifest(state))
+
+    # ------------------------------------------------------------------
+    # version pinning
+    # ------------------------------------------------------------------
+    def index_for_version(self, name: str, version: int) -> SeeSawIndex:
+        """The retained index serving one pinned dataset version."""
+        state = self.state_for(name)
+        with state.lock:
+            self._ensure_base(state)
+            if version == state.version:
+                assert state.current is not None
+                return state.current
+            index = state.generations.get(version)
+            if index is None:
+                retained = ", ".join(str(v) for v in sorted(state.generations))
+                raise UnknownResourceError(
+                    f"Version {version} of dataset '{name}' is not retained "
+                    f"(current {state.version}; retained: {retained or 'none'})"
+                )
+            return index
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def _check_live_enabled(self) -> None:
+        if not self.service.config.live_datasets:
+            raise SessionError(
+                "Live dataset mutations are disabled "
+                "(set SeeSawConfig.live_datasets=True to enable)"
+            )
+
+    def upsert_images(
+        self, name: str, images: "Sequence[SyntheticImage]"
+    ) -> "dict[str, object]":
+        """Add or replace images; publishes a new dataset version."""
+        self._check_live_enabled()
+        state = self.state_for(name)
+        if not images:
+            raise SessionError("upsert requires at least one image")
+        seen: "set[int]" = set()
+        for image in images:
+            if image.image_id in seen:
+                raise SessionError(
+                    f"duplicate image id {image.image_id} in one upsert"
+                )
+            seen.add(image.image_id)
+        known = {info.name for info in state.categories}
+        for image in images:
+            unknown = image.categories - known
+            if unknown:
+                raise SessionError(
+                    f"Image {image.image_id} uses unknown categories "
+                    f"{sorted(unknown)} (catalog: {sorted(known)})"
+                )
+        with state.lock:
+            self._ensure_base(state)
+            projected = state.delta_rows + sum(
+                len(generate_patches(image.width, image.height, state.config.multiscale))
+                for image in images
+            )
+            if projected > self.service.config.delta_max_rows:
+                self.merger.schedule(state)
+                raise ServiceOverloadedError(
+                    f"Delta segment for '{name}' is full "
+                    f"({state.delta_rows} rows, cap "
+                    f"{self.service.config.delta_max_rows}); a merge is in "
+                    "progress, retry shortly",
+                    retry_after_seconds=0.5,
+                )
+            self._apply_op(state, "upsert", tuple(images))
+            self._publish_mutation(state)
+        self.merger.maybe_schedule(state)
+        return self.manifest(state)
+
+    def delete_images(
+        self, name: str, image_ids: "Sequence[int]"
+    ) -> "dict[str, object]":
+        """Remove images; publishes a new dataset version."""
+        self._check_live_enabled()
+        state = self.state_for(name)
+        if not image_ids:
+            raise SessionError("delete requires at least one image id")
+        with state.lock:
+            self._ensure_base(state)
+            wanted = []
+            seen: "set[int]" = set()
+            for image_id in image_ids:
+                image_id = int(image_id)
+                if image_id in seen:
+                    continue
+                seen.add(image_id)
+                if image_id not in state.images:
+                    raise UnknownResourceError(
+                        f"Image {image_id} is not in dataset '{name}'"
+                    )
+                wanted.append(image_id)
+            if len(state.images) - len(wanted) < 1:
+                raise SessionError(
+                    f"Cannot delete all {len(state.images)} images of "
+                    f"'{name}'; a dataset must keep at least one"
+                )
+            self._apply_op(state, "delete", tuple(wanted))
+            self._publish_mutation(state)
+        self.merger.maybe_schedule(state)
+        return self.manifest(state)
+
+    def _apply_op(
+        self,
+        state: LiveDatasetState,
+        op: str,
+        payload: object,
+        seq: "int | None" = None,
+        bump_version: bool = True,
+    ) -> None:
+        """Apply one journal operation to the delta state (lock held).
+
+        ``seq``/``bump_version`` let the merger replay operations that
+        arrived while a background compaction was building — they keep their
+        original sequence numbers and already-assigned versions.
+        """
+        if seq is None:
+            state.mutation_seq += 1
+            seq = state.mutation_seq
+        if op == "upsert":
+            self._apply_upsert(state, payload)  # type: ignore[arg-type]
+        elif op == "delete":
+            self._apply_delete(state, payload)  # type: ignore[arg-type]
+        else:  # pragma: no cover - internal invariant
+            raise SessionError(f"Unknown mutation op '{op}'")
+        state.journal.append((seq, op, payload))
+        if bump_version:
+            state.version += 1
+
+    def _apply_upsert(
+        self, state: LiveDatasetState, images: "Iterable[SyntheticImage]"
+    ) -> None:
+        assert state.base_index is not None
+        embedding = state.base_index.embedding
+        n_base = len(state.base_index.store)
+        for image in images:
+            old = state.image_vector_ids.pop(image.image_id, None)
+            if old is not None:
+                state.tombstoned.update(old)
+                state.images.pop(image.image_id, None)
+            ids: "list[int]" = []
+            for box, scale_level in generate_patches(
+                image.width, image.height, state.config.multiscale
+            ):
+                vector_id = n_base + len(state.delta_records)
+                state.delta_vectors.append(embedding.embed_region(image, box))
+                state.delta_records.append(
+                    VectorRecord(
+                        vector_id=vector_id,
+                        image_id=image.image_id,
+                        box=box,
+                        scale_level=scale_level,
+                    )
+                )
+                ids.append(vector_id)
+            # Re-inserted at the end of both ordered maps: the canonical
+            # position a from-scratch rebuild would give the image.
+            state.images[image.image_id] = image
+            state.image_vector_ids[image.image_id] = tuple(ids)
+
+    def _apply_delete(
+        self, state: LiveDatasetState, image_ids: "Iterable[int]"
+    ) -> None:
+        for image_id in image_ids:
+            old = state.image_vector_ids.pop(image_id, None)
+            if old is None:
+                continue  # replay of a delete whose target a merge removed
+            state.tombstoned.update(old)
+            state.images.pop(image_id, None)
+
+    def _publish_mutation(self, state: LiveDatasetState) -> None:
+        """Rebuild the live view, swap it in, and persist the manifest."""
+        state.generation += 1
+        index = self._build_live_index(state)
+        self._swap_current(state, index)
+        state.retain(index)
+        self._persist_manifest(state)
+
+    def _build_live_index(self, state: LiveDatasetState) -> SeeSawIndex:
+        """The delta-over-base view of the state's current logical corpus."""
+        assert state.base_index is not None
+        base = state.base_index
+        if not state.has_delta:
+            return base
+        if state.delta_vectors:
+            delta_matrix = np.stack(state.delta_vectors)
+        else:
+            delta_matrix = np.zeros((0, base.store.dim), dtype=base.store.compute_dtype)
+        total = len(base.store) + len(state.delta_records)
+        tombstones = np.zeros(total, dtype=bool)
+        if state.tombstoned:
+            tombstones[
+                np.fromiter(state.tombstoned, dtype=np.int64, count=len(state.tombstoned))
+            ] = True
+        store = DeltaVectorStore(
+            base.store, delta_matrix, list(state.delta_records), tombstones
+        )
+        report = IndexBuildReport(
+            dataset_name=state.name,
+            image_count=len(state.images),
+            vector_count=len(store),
+            embedding_seconds=0.0,
+            store_seconds=0.0,
+            graph_seconds=0.0,
+            multiscale=state.config.multiscale.enabled,
+        )
+        # No kNN graph / DB-alignment matrix over the live view: both are
+        # merge-time artifacts (the delta generation would need them over a
+        # different row space every mutation).  The search method degrades
+        # gracefully — alignment resumes on the next sealed generation.
+        return SeeSawIndex(
+            dataset=state.merged_dataset(),
+            embedding=base.embedding,
+            store=store,
+            image_vector_ids=dict(state.image_vector_ids),
+            knn_graph=None,
+            db_matrix=None,
+            config=state.config,
+            build_report=report,
+        )
+
+    def _swap_current(self, state: LiveDatasetState, index: SeeSawIndex) -> None:
+        """Atomically point new lookups at ``index`` (old sessions unaffected)."""
+        index.engine  # warm before anything can route to it
+        state.current = index
+        service = self.service
+        service._indexes[(state.name, True)] = index
+        service._datasets[state.name] = (index.dataset, index.embedding)
+        # The coarse (multiscale=False) index, if built, covers the previous
+        # corpus; drop it so the next coarse session rebuilds from the
+        # current one.
+        service._indexes.pop((state.name, False), None)
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+    def force_merge(self, name: str) -> "dict[str, object]":
+        """Synchronously compact ``name``'s delta into a new sealed segment."""
+        self._check_live_enabled()
+        state = self.state_for(name)
+        with state.lock:
+            self._ensure_base(state)
+        self.merger.merge(state)
+        return self.manifest(state)
+
+    def close(self) -> None:
+        """Wait for background merges to finish (test/shutdown hygiene)."""
+        self.merger.join()

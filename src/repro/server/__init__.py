@@ -25,6 +25,7 @@ from repro.server.api import (
     PROTOCOL_REVISION,
     PROTOCOL_VERSION,
     BoxPayload,
+    DatasetInfo,
     FeedbackRequest,
     NextResultsResponse,
     ResultItem,
@@ -86,6 +87,7 @@ __all__ = [
     "PROTOCOL_REVISION",
     "StartSessionRequest",
     "BoxPayload",
+    "DatasetInfo",
     "FeedbackRequest",
     "NextResultsResponse",
     "ResultItem",

@@ -18,7 +18,7 @@ PROTOCOL_VERSION = "v1"
 on breaking changes; within a version, additions are announced through the
 ``revision`` counter and ``GET /v1/capabilities``."""
 
-PROTOCOL_REVISION = 3
+PROTOCOL_REVISION = 4
 """Monotonic feature counter within the protocol version.  Clients that need
 a newly added capability compare against this instead of sniffing routes.
 
@@ -31,7 +31,11 @@ propagation with the typed 504 (``deadline_exceeded``), ``Retry-After`` on
 admission-control shedding, the drain state in ``/healthz``
 (``state``/``uptime_seconds``/``in_flight``), and the
 ``deadline_propagation``/``admission_control``/``graceful_drain``/
-``retry_hints`` capability flags."""
+``retry_hints`` capability flags; 4 — live datasets: the ``/v1/datasets``
+routes (list, describe, upsert, delete, force-merge), the
+``dataset_version`` pin on session start, ``dataset_versions`` plus the
+``live_datasets`` flag in capabilities, and ``dataset_generations`` in
+``/healthz``."""
 
 
 @dataclass(frozen=True)
@@ -42,6 +46,25 @@ class StartSessionRequest:
     text_query: str
     batch_size: int = 3
     multiscale: bool = True
+    dataset_version: "int | None" = None
+    """Pin the session to one retained dataset version for reproducibility.
+    ``None`` (the default) follows the newest version.  Pinning requires the
+    multiscale index (the live tier maintains only that path) and fails with
+    a typed 404 once the version ages out of the retention window."""
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """One row of ``GET /v1/datasets``: the registry manifest view."""
+
+    name: str
+    version: int
+    generation: int
+    image_count: int
+    delta_rows: int
+    tombstones: int
+    merges_completed: int
+    retained_versions: "tuple[int, ...]" = ()
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,11 @@ Two route families share one set of handlers:
 ``GET  /v1/sessions/{id}/next``         next result batch (``?count=N``)
 ``POST /v1/sessions/{id}/feedback``     submit feedback (idempotency keys)
 ``DELETE /v1/sessions/{id}``            close a session
+``GET  /v1/datasets``                   registry manifests of every dataset
+``GET  /v1/datasets/{name}``            one dataset's manifest
+``POST /v1/datasets/{name}/upsert``     add/replace images (live tier)
+``POST /v1/datasets/{name}/delete``     delete images (live tier)
+``POST /v1/datasets/{name}/merge``      force a delta-segment compaction
 
 `/v1` errors use the structured envelope of :mod:`repro.server.errors`
 (``{code, message, retryable, details}``); ``next`` and ``batch-next``
@@ -59,8 +64,10 @@ from repro.server.api import (
 )
 from repro.server.codec import (
     decode_batch_next_request,
+    decode_delete_request,
     decode_feedback_request,
     decode_start_session_request,
+    decode_upsert_request,
     encode_batch_next_response,
     encode_next_results_response,
     encode_result_item,
@@ -381,6 +388,23 @@ class SeeSawApp:
                     idempotency_key=request.header("Idempotency-Key"),
                 )
                 return Response(200, encode_session_info(info))
+
+        if segments == ["datasets"] and method == "GET":
+            return Response(200, {"datasets": self.manager.list_datasets()})
+
+        if len(segments) == 2 and segments[0] == "datasets" and method == "GET":
+            return Response(200, self.manager.describe_dataset(segments[1]))
+
+        if len(segments) == 3 and segments[0] == "datasets" and method == "POST":
+            name, action = segments[1], segments[2]
+            if action == "upsert":
+                images = decode_upsert_request(parse_json(request.body))
+                return Response(200, self.manager.upsert_images(name, images))
+            if action == "delete":
+                image_ids = decode_delete_request(parse_json(request.body))
+                return Response(200, self.manager.delete_images(name, image_ids))
+            if action == "merge":
+                return Response(200, self.manager.force_merge(name))
 
         raise UnknownResourceError(
             f"No route for {method} /v1/{'/'.join(segments)}"

@@ -45,8 +45,10 @@ from repro.server.codec import (
     decode_result_item,
     decode_session_info,
     decode_session_page,
+    encode_delete_request,
     encode_feedback_request,
     encode_start_session_request,
+    encode_upsert_request,
 )
 from repro.server.deadlines import DEADLINE_HEADER, current_deadline
 from repro.server.errors import decode_error
@@ -230,6 +232,56 @@ class HTTPClient(SeeSawClientProtocol):
             operation="feedback",
         )
         return decode_session_info(payload)
+
+    # ------------------------------------------------------------------
+    # live datasets (protocol revision 4)
+    # ------------------------------------------------------------------
+    def list_datasets(self) -> "list[dict[str, Any]]":
+        data = self._request(
+            "GET", "/v1/datasets", idempotent=True, operation="list_datasets"
+        )
+        return list(data["datasets"])
+
+    def describe_dataset(self, name: str) -> "dict[str, Any]":
+        return self._request(
+            "GET",
+            f"/v1/datasets/{urllib.parse.quote(name)}",
+            idempotent=True,
+            operation="describe_dataset",
+        )
+
+    def upsert_images(
+        self, name: str, images: "Sequence[Any]"
+    ) -> "dict[str, Any]":
+        # Not idempotent: a replay after an ambiguous outcome would publish
+        # a second version with duplicate delta rows.
+        return self._request(
+            "POST",
+            f"/v1/datasets/{urllib.parse.quote(name)}/upsert",
+            encode_upsert_request(images),
+            operation="upsert_images",
+        )
+
+    def delete_images(
+        self, name: str, image_ids: "Sequence[int]"
+    ) -> "dict[str, Any]":
+        return self._request(
+            "POST",
+            f"/v1/datasets/{urllib.parse.quote(name)}/delete",
+            encode_delete_request(image_ids),
+            operation="delete_images",
+        )
+
+    def merge_dataset(self, name: str) -> "dict[str, Any]":
+        # Merging an already-compacted dataset is a no-op server-side, but
+        # the manifest it returns reflects whichever attempt ran — keep the
+        # retry semantics aligned with the other mutations.
+        return self._request(
+            "POST",
+            f"/v1/datasets/{urllib.parse.quote(name)}/merge",
+            {},
+            operation="merge_dataset",
+        )
 
     # ------------------------------------------------------------------
     # plumbing

@@ -15,9 +15,12 @@ import json
 from collections.abc import Mapping, Sequence
 from typing import Any
 
-from repro.exceptions import TransportError
+from repro.data.geometry import BoundingBox
+from repro.data.image import ObjectInstance, SyntheticImage
+from repro.exceptions import DatasetError, TransportError
 from repro.server.api import (
     BoxPayload,
+    DatasetInfo,
     FeedbackRequest,
     NextResultsResponse,
     ResultItem,
@@ -98,21 +101,30 @@ def _as_sequence(value: Any, field: str) -> Sequence[Any]:
 # per-type codecs
 # ---------------------------------------------------------------------------
 def encode_start_session_request(request: StartSessionRequest) -> "dict[str, Any]":
-    return {
+    payload: "dict[str, Any]" = {
         "dataset": request.dataset,
         "text_query": request.text_query,
         "batch_size": request.batch_size,
         "multiscale": request.multiscale,
     }
+    # Added at protocol revision 4; omitted when unset so revision-3 servers
+    # keep accepting unpinned starts from newer clients.
+    if request.dataset_version is not None:
+        payload["dataset_version"] = request.dataset_version
+    return payload
 
 
 def decode_start_session_request(data: Any) -> StartSessionRequest:
     data = _as_mapping(data, "StartSessionRequest")
+    dataset_version: "int | None" = None
+    if data.get("dataset_version") is not None:
+        dataset_version = _as_int(data["dataset_version"], "dataset_version")
     return StartSessionRequest(
         dataset=_as_str(_require(data, "dataset"), "dataset"),
         text_query=_as_str(_require(data, "text_query"), "text_query"),
         batch_size=_as_int(data.get("batch_size", 3), "batch_size"),
         multiscale=_as_bool(data.get("multiscale", True), "multiscale"),
+        dataset_version=dataset_version,
     )
 
 
@@ -318,6 +330,124 @@ def decode_session_page(data: Any) -> SessionPage:
             for item in _as_sequence(_require(data, "sessions"), "sessions")
         ),
         next_cursor=cursor,
+    )
+
+
+# ---------------------------------------------------------------------------
+# live-dataset codecs (protocol revision 4)
+# ---------------------------------------------------------------------------
+def encode_object_instance(instance: ObjectInstance) -> "dict[str, Any]":
+    return {
+        "category": instance.category,
+        "box": {
+            "x": instance.box.x,
+            "y": instance.box.y,
+            "width": instance.box.width,
+            "height": instance.box.height,
+        },
+        "instance_id": instance.instance_id,
+        "distinctiveness": instance.distinctiveness,
+    }
+
+
+def decode_object_instance(data: Any) -> ObjectInstance:
+    data = _as_mapping(data, "ObjectInstance")
+    box = _as_mapping(_require(data, "box"), "Field 'box'")
+    try:
+        return ObjectInstance(
+            category=_as_str(_require(data, "category"), "category"),
+            box=BoundingBox(
+                _as_float(_require(box, "x"), "box.x"),
+                _as_float(_require(box, "y"), "box.y"),
+                _as_float(_require(box, "width"), "box.width"),
+                _as_float(_require(box, "height"), "box.height"),
+            ),
+            instance_id=_as_int(data.get("instance_id", 0), "instance_id"),
+            distinctiveness=_as_float(
+                data.get("distinctiveness", 1.0), "distinctiveness"
+            ),
+        )
+    except DatasetError as exc:
+        raise TransportError(f"Invalid object instance: {exc}") from exc
+
+
+def encode_synthetic_image(image: SyntheticImage) -> "dict[str, Any]":
+    return {
+        "image_id": image.image_id,
+        "width": image.width,
+        "height": image.height,
+        "context": image.context,
+        "objects": [encode_object_instance(obj) for obj in image.objects],
+    }
+
+
+def decode_synthetic_image(data: Any) -> SyntheticImage:
+    data = _as_mapping(data, "Image")
+    objects = tuple(
+        decode_object_instance(item)
+        for item in _as_sequence(data.get("objects", ()), "objects")
+    )
+    try:
+        return SyntheticImage(
+            image_id=_as_int(_require(data, "image_id"), "image_id"),
+            width=_as_int(_require(data, "width"), "width"),
+            height=_as_int(_require(data, "height"), "height"),
+            context=_as_str(_require(data, "context"), "context"),
+            objects=objects,
+        )
+    except DatasetError as exc:
+        raise TransportError(f"Invalid image: {exc}") from exc
+
+
+def encode_upsert_request(images: "Sequence[SyntheticImage]") -> "dict[str, Any]":
+    return {"images": [encode_synthetic_image(image) for image in images]}
+
+
+def decode_upsert_request(data: Any) -> "list[SyntheticImage]":
+    data = _as_mapping(data, "UpsertRequest")
+    images = [
+        decode_synthetic_image(item)
+        for item in _as_sequence(_require(data, "images"), "images")
+    ]
+    if not images:
+        raise TransportError("Field 'images' must not be empty")
+    return images
+
+
+def encode_delete_request(image_ids: "Sequence[int]") -> "dict[str, Any]":
+    return {"image_ids": [int(image_id) for image_id in image_ids]}
+
+
+def decode_delete_request(data: Any) -> "list[int]":
+    data = _as_mapping(data, "DeleteRequest")
+    image_ids = [
+        _as_int(item, "image_ids")
+        for item in _as_sequence(_require(data, "image_ids"), "image_ids")
+    ]
+    if not image_ids:
+        raise TransportError("Field 'image_ids' must not be empty")
+    return image_ids
+
+
+def decode_dataset_info(data: Any) -> DatasetInfo:
+    """Decode one registry manifest row (tolerant of extra server fields)."""
+    data = _as_mapping(data, "DatasetInfo")
+    return DatasetInfo(
+        name=_as_str(_require(data, "name"), "name"),
+        version=_as_int(_require(data, "version"), "version"),
+        generation=_as_int(_require(data, "generation"), "generation"),
+        image_count=_as_int(_require(data, "image_count"), "image_count"),
+        delta_rows=_as_int(data.get("delta_rows", 0), "delta_rows"),
+        tombstones=_as_int(data.get("tombstones", 0), "tombstones"),
+        merges_completed=_as_int(
+            data.get("merges_completed", 0), "merges_completed"
+        ),
+        retained_versions=tuple(
+            _as_int(item, "retained_versions")
+            for item in _as_sequence(
+                data.get("retained_versions", ()), "retained_versions"
+            )
+        ),
     )
 
 

@@ -537,6 +537,7 @@ class SessionManager:
                 "admission_control": config.max_in_flight > 0,
                 "graceful_drain": True,
                 "retry_hints": True,
+                "live_datasets": config.live_datasets,
             },
             "limits": {
                 "max_sessions": self.max_sessions,
@@ -562,7 +563,43 @@ class SessionManager:
                 "batch_window_ms": self.batch_window_ms,
             },
             "datasets": list(self.service.dataset_names),
+            # Current registry version per dataset (protocol revision 4).
+            # Technically not deployment-static, but versions only move on
+            # explicit mutations; clients pinning a version re-read this.
+            "dataset_versions": self.service.live.versions(),
         }
+
+    # ------------------------------------------------------------------
+    # live datasets (protocol revision 4)
+    # ------------------------------------------------------------------
+    def list_datasets(self) -> "list[dict[str, object]]":
+        """All registered datasets' registry manifests."""
+        return self.service.live.list_datasets()
+
+    def describe_dataset(self, name: str) -> "dict[str, object]":
+        """The registry manifest of one dataset."""
+        return self.service.live.describe(name)
+
+    def upsert_images(
+        self, name: str, images: "Sequence[object]"
+    ) -> "dict[str, object]":
+        """Add or replace images in a live dataset (serialized per dataset)."""
+        self._check_draining()
+        check_deadline("dataset upsert")
+        return self.service.live.upsert_images(name, images)  # type: ignore[arg-type]
+
+    def delete_images(
+        self, name: str, image_ids: "Sequence[int]"
+    ) -> "dict[str, object]":
+        """Delete images from a live dataset (serialized per dataset)."""
+        self._check_draining()
+        check_deadline("dataset delete")
+        return self.service.live.delete_images(name, image_ids)
+
+    def force_merge(self, name: str) -> "dict[str, object]":
+        """Synchronously compact the dataset's delta segment."""
+        check_deadline("dataset merge")
+        return self.service.live.force_merge(name)
 
     # ------------------------------------------------------------------
     # metrics exposition (GET /v1/metrics)
@@ -616,6 +653,9 @@ class SessionManager:
             "ann_search": self.service.config.ann_search,
             "mmap_index": self.service.config.mmap_index,
             "store_tiers": self.service.store_tiers,
+            # Physical generation per dataset: bumps on every mutation *and*
+            # every merge swap, so dashboards can watch compactions land.
+            "dataset_generations": self.service.live.dataset_generations(),
             "batch_window_ms": self.batch_window_ms,
             "fused_rounds": self.service.fused_rounds,
             "fused_sessions": self.service.fused_sessions,

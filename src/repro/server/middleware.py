@@ -179,6 +179,14 @@ def route_template(target: str) -> str:
             return f"{prefix}/sessions/{{id}}"
         if len(rest) == 2 and rest[1] in ("next", "feedback"):
             return f"{prefix}/sessions/{{id}}/{rest[1]}"
+    if head == "datasets":
+        rest = segments[1:]
+        if not rest:
+            return f"{prefix}/datasets"
+        if len(rest) == 1:
+            return f"{prefix}/datasets/{{name}}"
+        if len(rest) == 2 and rest[1] in ("upsert", "delete", "merge"):
+            return f"{prefix}/datasets/{{name}}/{rest[1]}"
     return f"{prefix}/other"
 
 

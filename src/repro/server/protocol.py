@@ -125,6 +125,45 @@ class SeeSawClientProtocol(abc.ABC):
         the feedback twice.
         """
 
+    # -- live datasets (protocol revision 4) ---------------------------
+    # Concrete defaults, not abstract methods: pre-revision-4 protocol
+    # implementations (including test fakes) must keep constructing without
+    # changes, and an implementation that never touches datasets should not
+    # be forced to stub five methods.
+    def list_datasets(self) -> "list[dict[str, Any]]":
+        """All registered datasets' manifests (name, version, generation...)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the dataset surface"
+        )
+
+    def describe_dataset(self, name: str) -> "dict[str, Any]":
+        """The registry manifest of one dataset."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the dataset surface"
+        )
+
+    def upsert_images(
+        self, name: str, images: "Sequence[Any]"
+    ) -> "dict[str, Any]":
+        """Add or replace images in a live dataset; returns the new manifest."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the dataset surface"
+        )
+
+    def delete_images(
+        self, name: str, image_ids: "Sequence[int]"
+    ) -> "dict[str, Any]":
+        """Delete images from a live dataset; returns the new manifest."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the dataset surface"
+        )
+
+    def merge_dataset(self, name: str) -> "dict[str, Any]":
+        """Force a synchronous delta-segment compaction; returns the manifest."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the dataset surface"
+        )
+
     # -- conveniences shared by every transport ------------------------
     def iter_sessions(
         self, page_size: "int | None" = None
@@ -254,4 +293,39 @@ class InProcessClient(SeeSawClientProtocol):
             ),
             idempotency_key is not None,
             "feedback",
+        )
+
+    # -- live datasets -------------------------------------------------
+    def list_datasets(self) -> "list[dict[str, Any]]":
+        return self._call(self.manager.list_datasets, True, "list_datasets")
+
+    def describe_dataset(self, name: str) -> "dict[str, Any]":
+        return self._call(
+            lambda: self.manager.describe_dataset(name), True, "describe_dataset"
+        )
+
+    def upsert_images(
+        self, name: str, images: "Sequence[Any]"
+    ) -> "dict[str, Any]":
+        # Not idempotent: an upsert replayed after an ambiguous outcome
+        # would publish a second version with duplicate delta rows.
+        return self._call(
+            lambda: self.manager.upsert_images(name, images), False, "upsert_images"
+        )
+
+    def delete_images(
+        self, name: str, image_ids: "Sequence[int]"
+    ) -> "dict[str, Any]":
+        # Not idempotent at the protocol level: a replayed delete of an
+        # already-removed image is a typed 404, which a blind retry would
+        # surface as a spurious failure.
+        return self._call(
+            lambda: self.manager.delete_images(name, image_ids),
+            False,
+            "delete_images",
+        )
+
+    def merge_dataset(self, name: str) -> "dict[str, Any]":
+        return self._call(
+            lambda: self.manager.force_merge(name), False, "merge_dataset"
         )

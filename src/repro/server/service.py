@@ -24,6 +24,8 @@ from repro.core.session import SearchSession, SessionStats
 from repro.data.dataset import ImageDataset
 from repro.embedding.base import EmbeddingModel
 from repro.exceptions import ReproError, SessionError, UnknownResourceError
+from repro.live.delta import DeltaVectorStore
+from repro.live.registry import DatasetRegistry
 from repro.server.api import (
     FeedbackRequest,
     NextResultsResponse,
@@ -93,6 +95,10 @@ class SeeSawService:
             "Live interactive sessions owned by this service.",
             callback=lambda: float(len(self._sessions)),
         )
+        # The mutable-dataset control plane: versions, manifests, delta
+        # state, and the background merger (always constructed — mutations
+        # themselves are gated on ``config.live_datasets``).
+        self.live = DatasetRegistry(self)
 
     # ------------------------------------------------------------------
     # deprecation shims (pre-obs bespoke counters; /healthz still reads them)
@@ -136,8 +142,13 @@ class SeeSawService:
             )
         else:
             self._caches.pop(dataset.name, None)
+        # Publish version 1 (re-registering resets the version lineage).
+        self.live.publish(dataset)
         if preprocess:
             self.index_for(dataset.name, multiscale=True)
+            # Adopt the freshly built index as the live tier's sealed base so
+            # version-1 pins and the manifest's cache key are ready now.
+            self.live.warm(dataset.name)
 
     @property
     def dataset_names(self) -> "tuple[str, ...]":
@@ -300,8 +311,12 @@ class SeeSawService:
         for (dataset_name, multiscale), index in self._indexes.items():
             label = dataset_name if multiscale else f"{dataset_name}-coarse"
             store = index.store
+            live = isinstance(store, DeltaVectorStore)
+            sealed = store.base if live else store
             flat = (
-                store.shard_example if isinstance(store, ShardedVectorStore) else store
+                sealed.shard_example
+                if isinstance(sealed, ShardedVectorStore)
+                else sealed
             )
             quantized = isinstance(flat, QuantizedVectorStore)
             graph = isinstance(flat, GraphANNVectorStore)
@@ -313,8 +328,10 @@ class SeeSawService:
                 "ann_graph_degree": flat.graph_degree if graph else None,
                 "ann_ef": flat.ef if graph else None,
                 "shards": (
-                    store.n_shards if isinstance(store, ShardedVectorStore) else 1
+                    sealed.n_shards if isinstance(sealed, ShardedVectorStore) else 1
                 ),
+                "live": live,
+                "delta_rows": store.delta_rows if live else 0,
             }
         return tiers
 
@@ -333,11 +350,25 @@ class SeeSawService:
             raise UnknownResourceError(
                 f"Dataset '{request.dataset}' is not registered"
             )
+        if request.dataset_version is not None:
+            if request.dataset_version < 1:
+                raise SessionError(
+                    f"dataset_version must be >= 1, got {request.dataset_version}"
+                )
+            if not request.multiscale:
+                raise SessionError(
+                    "dataset_version pinning requires the multiscale index"
+                )
 
     def start_session(self, request: StartSessionRequest) -> SessionInfo:
         """Start a new interactive search session."""
         self.validate_start_request(request)
-        index = self.index_for(request.dataset, request.multiscale)
+        if request.dataset_version is not None:
+            index = self.live.index_for_version(
+                request.dataset, request.dataset_version
+            )
+        else:
+            index = self.index_for(request.dataset, request.multiscale)
         session = SearchSession(
             index=index,
             method=SeeSawSearchMethod(self.config),

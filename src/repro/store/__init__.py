@@ -7,11 +7,12 @@ disk instead of re-embedding every image.
 
 from repro.store.cache import IndexCache
 from repro.store.hashing import index_cache_key
-from repro.store.serialize import load_index, save_index
+from repro.store.serialize import load_index, save_index, write_json_atomic
 
 __all__ = [
     "IndexCache",
     "index_cache_key",
     "load_index",
     "save_index",
+    "write_json_atomic",
 ]

@@ -21,6 +21,7 @@ import shutil
 import time
 import uuid
 from pathlib import Path
+from typing import Iterable
 
 from repro.config import SeeSawConfig
 from repro.core.indexing import SeeSawIndex
@@ -40,12 +41,16 @@ class IndexCache:
         mmap: bool = True,
         lock_poll_seconds: float = 0.05,
         lock_stale_seconds: float = 600.0,
+        max_entries: "int | None" = None,
     ) -> None:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.mmap = bool(mmap)
         self.lock_poll_seconds = float(lock_poll_seconds)
         self.lock_stale_seconds = float(lock_stale_seconds)
+        if max_entries is not None and int(max_entries) < 1:
+            raise StoreError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = None if max_entries is None else int(max_entries)
 
     def key(
         self,
@@ -97,6 +102,55 @@ class IndexCache:
             for child in self.cache_dir.iterdir()
             if child.is_dir() and (child / META_FILE).exists()
         )
+
+    def sweep(self, pinned: "Iterable[str]" = ()) -> "list[Path]":
+        """Bound cache growth: evict LRU entries and clean orphaned sentinels.
+
+        Live-dataset merges create a fresh entry per generation, which would
+        grow the directory forever.  When ``max_entries`` is set, complete
+        entries beyond it are evicted oldest-first (by entry mtime — touched
+        at write time, so recently published generations survive) — except
+        entries whose key is ``pinned``: a key named by a live registry
+        manifest is load-bearing (a process restart must find it) and is
+        never evicted, even when that leaves the cache above the bound.
+
+        Independently of any entry bound, ``.building`` and ``.stale-*``
+        sentinels older than ``lock_stale_seconds`` are removed: a builder
+        that crashed without releasing leaves one behind, and while the
+        build path steals them lazily, a cache that is only ever *read*
+        afterwards would keep the orphan forever.
+
+        Returns the entry directories that were evicted.
+        """
+        pinned_dirs = {key[:32] for key in pinned}
+        now = time.time()
+        for sentinel in list(self.cache_dir.glob("*.building")) + list(
+            self.cache_dir.glob("*.stale-*")
+        ):
+            try:
+                if now - sentinel.stat().st_mtime > self.lock_stale_seconds:
+                    os.remove(sentinel)
+            except (FileNotFoundError, OSError):
+                continue
+        evicted: "list[Path]" = []
+        if self.max_entries is None:
+            return evicted
+        entries = self.entries()
+        if len(entries) <= self.max_entries:
+            return evicted
+        def entry_mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except (FileNotFoundError, OSError):
+                return 0.0
+        for entry in sorted(entries, key=entry_mtime):
+            if len(entries) - len(evicted) <= self.max_entries:
+                break
+            if entry.name in pinned_dirs:
+                continue
+            shutil.rmtree(entry, ignore_errors=True)
+            evicted.append(entry)
+        return evicted
 
     # ------------------------------------------------------------------
     # cross-process build single-flighting

@@ -65,6 +65,45 @@ raw layout (``vectors`` is always present, the rest are optional; the
 entries, and pre-graph entries without them load unchanged)."""
 
 
+def write_json_atomic(path: "str | os.PathLike[str]", payload: object) -> Path:
+    """Write ``payload`` as canonical JSON with crash-safe durability.
+
+    The registry's manifests are the pointers that make a dataset version
+    real: a crash mid-publish must leave either the old manifest or the new
+    one, never a truncated file, and the surviving file must actually be on
+    the platter.  Three steps buy that: the JSON is written to a unique
+    sibling temp file, ``fsync``-ed so the *content* is durable before any
+    name points at it, then moved over ``path`` with atomic ``os.replace``;
+    finally the parent directory is ``fsync``-ed so the rename itself
+    survives power loss.  Readers concurrently opening ``path`` see the old
+    or the new bytes, never a mix.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(prefix=f".{target.name}.", dir=target.parent)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.remove(tmp_name)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(target.parent, os.O_RDONLY)
+    except OSError:
+        return target  # platform without directory fds; rename is still atomic
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return target
+
+
 def _flat_store(store: VectorStore) -> VectorStore:
     """The store whose kind/parameters describe the serialized artifacts.
 
@@ -195,9 +234,7 @@ def save_index(
                 "ef": store.ef,
                 "seed": store.seed,
             }
-        (staging / META_FILE).write_text(
-            json.dumps(meta, sort_keys=True), encoding="utf-8"
-        )
+        write_json_atomic(staging / META_FILE, meta)
 
         if (target / META_FILE).exists():
             # Another writer finished first; its entry is equivalent by key.

@@ -45,12 +45,20 @@ def _smoke(name: str):
 
 @pytest.fixture(scope="module")
 def inprocess_client(tiny_dataset, tiny_clip):
-    """An in-process client over a sharded, coalescing service."""
+    """An in-process client over a sharded, coalescing, live-enabled service.
+
+    ``live_datasets=True`` so the pack's ``live_ingest`` row can upsert and
+    force-merge; the other scenarios never mutate, so they are unaffected.
+    """
     service = SeeSawService(
-        SeeSawConfig(embedding_dim=64, seed=7, n_shards=2, batch_window_ms=2.0)
+        SeeSawConfig(
+            embedding_dim=64, seed=7, n_shards=2, batch_window_ms=2.0,
+            live_datasets=True,
+        )
     )
     service.register_dataset(tiny_dataset, tiny_clip, preprocess=True)
-    return InProcessClient(SessionManager(service))
+    yield InProcessClient(SessionManager(service))
+    service.live.close()
 
 
 @pytest.fixture(scope="module")
@@ -67,7 +75,7 @@ def http_server(tiny_dataset, tiny_clip):
 @pytest.mark.parametrize(
     "scenario", SCENARIO_PACK, ids=lambda scenario: scenario.name
 )
-def test_scenario_pack_inprocess(inprocess_client, scenario):
+def test_scenario_pack_inprocess(inprocess_client, tiny_dataset, scenario):
     """Every pack scenario runs open-loop in process with a clean taxonomy."""
     run = run_scenario(
         inprocess_client,
@@ -79,6 +87,9 @@ def test_scenario_pack_inprocess(inprocess_client, scenario):
         dataset="tiny",
         queries=QUERIES,
         transport="inprocess",
+        mutation_categories=tuple(
+            info.name for info in tiny_dataset.categories
+        ),
     )
     summary = summarize(run)
     assert run.arrivals > 0

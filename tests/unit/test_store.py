@@ -733,3 +733,136 @@ class TestGraphStoreSerialization:
         assert tier["graph"] is True
         assert tier["ann_graph_degree"] == 8
         assert tier["ann_ef"] == 48
+
+
+class TestCacheSweep:
+    """LRU bounding and sentinel cleanup (the live-merge growth guard)."""
+
+    def _fill(self, tmp_path, tiny_dataset, tiny_clip, seeds, max_entries=None):
+        cache = IndexCache(tmp_path / "cache", max_entries=max_entries)
+        keys = []
+        for seed in seeds:
+            config = SeeSawConfig(embedding_dim=64, seed=seed)
+            cache.load_or_build(tiny_dataset, tiny_clip, config)
+            keys.append(cache.key(tiny_dataset, tiny_clip, config))
+        return cache, keys
+
+    def test_max_entries_validated(self, tmp_path):
+        with pytest.raises(StoreError, match="max_entries"):
+            IndexCache(tmp_path / "cache", max_entries=0)
+
+    def test_unbounded_sweep_keeps_everything(
+        self, tmp_path, tiny_dataset, tiny_clip
+    ):
+        cache, _ = self._fill(tmp_path, tiny_dataset, tiny_clip, (1, 2, 3))
+        assert cache.sweep() == []
+        assert len(cache.entries()) == 3
+
+    def test_sweep_evicts_oldest_first(self, tmp_path, tiny_dataset, tiny_clip):
+        import os as _os
+        import time as _time
+
+        cache, keys = self._fill(
+            tmp_path, tiny_dataset, tiny_clip, (1, 2, 3), max_entries=2
+        )
+        # Make the first entry unambiguously the oldest.
+        now = _time.time()
+        _os.utime(cache.path_for(keys[0]), (now - 1000, now - 1000))
+        evicted = cache.sweep()
+        assert [path.name for path in evicted] == [keys[0][:32]]
+        assert not cache.contains(keys[0])
+        assert cache.contains(keys[1]) and cache.contains(keys[2])
+
+    def test_pinned_entries_survive_even_over_budget(
+        self, tmp_path, tiny_dataset, tiny_clip
+    ):
+        import os as _os
+        import time as _time
+
+        cache, keys = self._fill(
+            tmp_path, tiny_dataset, tiny_clip, (1, 2, 3), max_entries=1
+        )
+        now = _time.time()
+        for offset, key in enumerate(keys):
+            stamp = now - 1000 + offset
+            _os.utime(cache.path_for(key), (stamp, stamp))
+        evicted = cache.sweep(pinned=[keys[0], keys[1]])
+        # Only the unpinned entry can go; the pinned two stay although the
+        # cache remains above max_entries.
+        assert [path.name for path in evicted] == [keys[2][:32]]
+        assert cache.contains(keys[0]) and cache.contains(keys[1])
+
+    def test_orphaned_sentinels_cleaned(self, tmp_path, tiny_dataset, tiny_clip):
+        import os as _os
+        import time as _time
+
+        cache = IndexCache(tmp_path / "cache", lock_stale_seconds=60.0)
+        stale = cache.cache_dir / "deadbeef.building"
+        fresh = cache.cache_dir / "cafebabe.building"
+        stale.touch()
+        fresh.touch()
+        old = _time.time() - 3600
+        _os.utime(stale, (old, old))
+        cache.sweep()
+        assert not stale.exists()  # crashed builder's orphan removed
+        assert fresh.exists()  # an in-progress build is left alone
+
+
+class TestAtomicManifestWrite:
+    """Crash-safety of :func:`repro.store.serialize.write_json_atomic`."""
+
+    def test_round_trip_and_canonical_bytes(self, tmp_path):
+        import json
+
+        from repro.store import write_json_atomic
+
+        target = tmp_path / "nested" / "manifest.json"
+        write_json_atomic(target, {"b": 2, "a": 1})
+        assert json.loads(target.read_text(encoding="utf-8")) == {"a": 1, "b": 2}
+        # Keys are sorted so repeated writes of equal payloads are identical.
+        first = target.read_bytes()
+        write_json_atomic(target, {"a": 1, "b": 2})
+        assert target.read_bytes() == first
+        assert not list(target.parent.glob(".manifest.json.*"))
+
+    def test_crash_before_replace_preserves_old_manifest(
+        self, tmp_path, monkeypatch
+    ):
+        import json
+        import os as _os
+
+        from repro.store import write_json_atomic
+
+        target = tmp_path / "manifest.json"
+        write_json_atomic(target, {"version": 1})
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at the rename boundary")
+
+        monkeypatch.setattr(_os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            write_json_atomic(target, {"version": 2})
+        monkeypatch.undo()
+        # Old manifest intact, no temp litter left behind.
+        assert json.loads(target.read_text(encoding="utf-8")) == {"version": 1}
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_crash_mid_write_preserves_old_manifest(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.store import serialize as serialize_module
+        from repro.store.serialize import write_json_atomic
+
+        target = tmp_path / "manifest.json"
+        write_json_atomic(target, {"version": 1})
+
+        def exploding_dump(payload, handle, **kwargs):
+            handle.write('{"version": ')  # partial bytes hit the temp file
+            raise OSError("simulated crash mid-serialization")
+
+        monkeypatch.setattr(serialize_module.json, "dump", exploding_dump)
+        with pytest.raises(OSError, match="mid-serialization"):
+            write_json_atomic(target, {"version": 2})
+        monkeypatch.undo()
+        assert json.loads(target.read_text(encoding="utf-8")) == {"version": 1}
+        assert list(tmp_path.iterdir()) == [target]

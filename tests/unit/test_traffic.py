@@ -91,6 +91,8 @@ class TestScenarioConfigs:
             "slow_drip",
             "feedback_replay",
             "rate_limit_storm",
+            "live_ingest",
+            "chaos",
         ):
             assert required in names
 
@@ -127,10 +129,18 @@ class TestScenarioConfigs:
             TailGates(p99_ms=100.0, p999_ms=50.0)
         with pytest.raises(BenchmarkError):
             TrafficScenario(name="x", description="x", rate_rps=0.0)
+        with pytest.raises(BenchmarkError):
+            TrafficScenario(name="x", description="x", forced_merges=-1)
 
     def test_mix_weights_skip_zero_entries(self):
         mix = OpMix(next_results=0.5, stream=0.5)
         assert mix.weights() == (("next", 0.5), ("stream", 0.5))
+
+    def test_live_ingest_mixes_mutations_with_forced_merges(self):
+        scenario = get_scenario("live_ingest")
+        assert ("mutate", 0.2) in scenario.mix.weights()
+        assert scenario.forced_merges == 2
+        assert "ServiceOverloadedError" in scenario.expected_errors
 
 
 def _record(
